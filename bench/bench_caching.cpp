@@ -1,0 +1,69 @@
+// Extension: content popularity and caching (§V future-work thread 1).
+//
+// "Moreover, adding content popularity and caching policies can also have
+// an impact on time-based amortization due to the reduced number of
+// forwarded requests."
+//
+// Workload: chunks drawn from a fixed catalog with Zipf(alpha)
+// popularity; every relay keeps an LRU cache. We sweep cache capacity and
+// Zipf skew and report bandwidth saved, cache hit rates, and the fairness
+// impact (caches intercept traffic before it reaches the nodes that would
+// otherwise be paid).
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fairswap;
+  auto args = bench::BenchArgs::parse(argc, argv);
+  const Config cfg_args = Config::from_args(argc, argv);
+  if (!cfg_args.has("files")) args.files = 1'000;
+
+  bench::banner("Extension: Zipf popularity + relay LRU caching");
+
+  TextTable table({"zipf alpha", "cache cap", "transmissions", "saved vs none",
+                   "cache serves", "Gini F2"});
+  std::ostringstream csv_text;
+  CsvWriter csv(csv_text);
+  csv.cells("zipf_alpha", "cache_capacity", "transmissions", "saved_share",
+            "cache_serves", "gini_f2");
+
+  for (const double alpha : {0.6, 1.0}) {
+    std::uint64_t baseline_tx = 0;
+    for (const std::size_t capacity : {0u, 16u, 64u, 256u}) {
+      auto cfg = core::paper_config(4, 0.2, args.files, args.seed);
+      cfg.sim.workload.catalog_size = 20'000;
+      cfg.sim.workload.catalog_zipf_alpha = alpha;
+      cfg.sim.cache_capacity = capacity;
+      cfg.label = "alpha=" + TextTable::num(alpha, 1) +
+                  ", cache=" + std::to_string(capacity);
+      std::printf("running %s...\n", cfg.label.c_str());
+      std::fflush(stdout);
+      const auto result = core::run_experiment(cfg);
+      if (capacity == 0) baseline_tx = result.totals.total_transmissions;
+      const double saved =
+          baseline_tx == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(result.totals.total_transmissions) /
+                          static_cast<double>(baseline_tx);
+      table.add_row({TextTable::num(alpha, 1), std::to_string(capacity),
+                     std::to_string(result.totals.total_transmissions),
+                     TextTable::num(100.0 * saved, 1) + "%",
+                     std::to_string(result.cache_serves),
+                     TextTable::num(result.fairness.gini_f2, 4)});
+      csv.cells(alpha, capacity, result.totals.total_transmissions, saved,
+                result.cache_serves, result.fairness.gini_f2);
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nreading: with skewed popularity, relay caches intercept "
+              "repeat requests close to the originators — fewer forwarded "
+              "chunks means less unpaid relay debt for amortization to "
+              "clear, exactly the §V hypothesis.\n");
+  core::write_text_file(args.out_dir + "/caching.csv", csv_text.str());
+  std::printf("wrote %s/caching.csv\n", args.out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The storage-incentive pipeline end to end: uploaders buy postage
+// batches and stamp chunks; batch balances drain into the redistribution
+// pot; each round a neighborhood lottery pays one staked node that can
+// prove custody with a real BMT inclusion proof.
+//
+// This is the §V "storage incentives" thread: the bandwidth benches show
+// who earns from *serving* data, this example shows who earns from
+// *keeping* it.
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/gini.hpp"
+#include "common/rng.hpp"
+#include "incentives/storage_game.hpp"
+#include "storage/postage.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fairswap;
+  const Config args = Config::from_args(argc, argv);
+  const auto rounds = args.get_or("rounds", std::uint64_t{2000});
+
+  // A 500-node overlay; everyone stakes 1 token to play.
+  overlay::TopologyConfig cfg;
+  cfg.node_count = args.get_or("nodes", std::uint64_t{500});
+  cfg.address_bits = 16;
+  cfg.buckets.k = 4;
+  Rng trng(kDefaultSeed);
+  const auto topo = overlay::Topology::build(cfg, trng);
+
+  // Uploaders fund the system: 20 batches of 2^12 chunks each.
+  storage::PostageOffice office;
+  Rng rng(11);
+  std::uint64_t stamped = 0;
+  for (int b = 0; b < 20; ++b) {
+    const auto owner = static_cast<std::uint32_t>(rng.index(topo.node_count()));
+    const auto id = office.buy_batch(owner, 12, Token(250'000));
+    // Each uploader stamps a few thousand chunks.
+    const auto uploads = 2000 + rng.next_below(2000);
+    for (std::uint64_t c = 0; c < uploads; ++c) {
+      if (office.stamp(id, Address{static_cast<AddressValue>(
+                                rng.next_below(topo.space().size()))})) {
+        ++stamped;
+      }
+    }
+  }
+  std::printf("uploaders bought %zu batches (%s total) and stamped %llu "
+              "chunks\n",
+              office.batch_count(), office.total_purchased().to_string().c_str(),
+              static_cast<unsigned long long>(stamped));
+
+  // The redistribution game, funded by draining batch balances each round.
+  incentives::StorageGameConfig gcfg;
+  gcfg.depth = 4;
+  incentives::StorageGame game(topo, gcfg);
+  for (overlay::NodeIndex n = 0; n < topo.node_count(); ++n) {
+    game.set_stake(n, Token::whole(1));
+  }
+
+  Token revenue;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    revenue += office.tick(Token(25));  // postage drain funds the round
+    game.play_round(rng);
+  }
+  std::printf("over %llu rounds the postage drain collected %s; the lottery "
+              "paid %llu rounds\n",
+              static_cast<unsigned long long>(rounds),
+              revenue.to_string().c_str(),
+              static_cast<unsigned long long>(game.rounds_paid()));
+
+  const auto rewards = game.rewards_double();
+  std::printf("storage-reward Gini across nodes: %.4f\n",
+              gini(std::span<const double>(rewards)));
+  std::size_t winners = 0;
+  for (const double v : rewards) {
+    if (v > 0) ++winners;
+  }
+  std::printf("%zu of %zu nodes won at least one round; the skew comes from "
+              "neighborhood sizes — the same address-gap lottery that skews "
+              "bandwidth income in the paper's Fig. 5.\n",
+              winners, topo.node_count());
+  return 0;
+}

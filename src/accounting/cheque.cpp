@@ -1,0 +1,47 @@
+#include "accounting/cheque.hpp"
+
+#include <cassert>
+
+namespace fairswap::accounting {
+
+namespace {
+std::uint64_t pair_key(NodeIndex a, NodeIndex b) noexcept {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+Cheque Chequebook::issue(NodeIndex beneficiary, Token amount) {
+  assert(!amount.negative());
+  Token& total = totals_[beneficiary];
+  total += amount;
+  return Cheque{owner_, beneficiary, total, next_serial_++};
+}
+
+std::optional<Cheque> Chequebook::latest(NodeIndex beneficiary) const {
+  const auto it = totals_.find(beneficiary);
+  if (it == totals_.end()) return std::nullopt;
+  return Cheque{owner_, beneficiary, it->second, next_serial_ - 1};
+}
+
+Token Chequebook::total_issued(NodeIndex beneficiary) const {
+  const auto it = totals_.find(beneficiary);
+  return it == totals_.end() ? Token(0) : it->second;
+}
+
+Token Chequebook::total_issued() const {
+  Token total;
+  for (const auto& [peer, amount] : totals_) total += amount;
+  return total;
+}
+
+std::optional<CashResult> SettlementChain::cash(const Cheque& cheque) {
+  Token& already = cashed_[pair_key(cheque.issuer, cheque.beneficiary)];
+  if (cheque.cumulative <= already) return std::nullopt;
+  const Token gross = cheque.cumulative - already;
+  already = cheque.cumulative;
+  ++transactions_;
+  fees_ += tx_fee_;
+  return CashResult{gross, tx_fee_, gross - tx_fee_};
+}
+
+}  // namespace fairswap::accounting

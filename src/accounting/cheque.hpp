@@ -1,0 +1,89 @@
+// Chequebook settlement — how SWAP debt becomes crypto income.
+//
+// Swarm settles SWAP debt off-chain with *cumulative cheques*: each new
+// cheque to the same beneficiary carries the running total ever owed, so
+// only the latest cheque needs to be cashed on-chain. Cashing costs a
+// transaction fee — §V observes that with many small recipients "the
+// transaction cost for receiving the reward might be more than the reward
+// amount". The chequebook model lets benches quantify exactly that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/token.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::accounting {
+
+using overlay::NodeIndex;
+
+/// A cumulative cheque: `cumulative` is the total ever issued by `issuer`
+/// to `beneficiary`, not the increment.
+struct Cheque {
+  NodeIndex issuer{0};
+  NodeIndex beneficiary{0};
+  Token cumulative;
+  std::uint64_t serial{0};
+};
+
+/// Outcome of cashing a beneficiary's latest cheque from one issuer.
+struct CashResult {
+  Token gross;     ///< newly cashed amount (cumulative - previously cashed)
+  Token fee;       ///< transaction fee paid
+  Token net;       ///< gross - fee (may be negative if fee > gross!)
+};
+
+/// One node's chequebook: issues cumulative cheques and tracks cashing.
+class Chequebook {
+ public:
+  explicit Chequebook(NodeIndex owner) noexcept : owner_(owner) {}
+
+  /// Issues (or extends) a cheque to `beneficiary` by `amount`; returns
+  /// the new cumulative cheque.
+  Cheque issue(NodeIndex beneficiary, Token amount);
+
+  /// The latest cheque held for `beneficiary`, if any.
+  [[nodiscard]] std::optional<Cheque> latest(NodeIndex beneficiary) const;
+
+  /// Total ever issued to `beneficiary`.
+  [[nodiscard]] Token total_issued(NodeIndex beneficiary) const;
+
+  /// Total issued across all beneficiaries.
+  [[nodiscard]] Token total_issued() const;
+
+  [[nodiscard]] NodeIndex owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t beneficiary_count() const noexcept { return totals_.size(); }
+
+ private:
+  NodeIndex owner_;
+  std::unordered_map<NodeIndex, Token> totals_;
+  std::uint64_t next_serial_{1};
+};
+
+/// The on-chain side: cashing cheques against a fixed transaction fee.
+/// Tracks per-beneficiary cashed amounts so repeated cashing of a
+/// cumulative cheque only yields the delta.
+class SettlementChain {
+ public:
+  explicit SettlementChain(Token tx_fee) noexcept : tx_fee_(tx_fee) {}
+
+  /// Cashes the given cumulative cheque. Returns nullopt if nothing new
+  /// to cash.
+  std::optional<CashResult> cash(const Cheque& cheque);
+
+  [[nodiscard]] Token tx_fee() const noexcept { return tx_fee_; }
+  [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] Token total_fees_collected() const noexcept { return fees_; }
+
+ private:
+  Token tx_fee_;
+  std::uint64_t transactions_{0};
+  Token fees_;
+  // (issuer, beneficiary) -> cumulative amount already cashed.
+  std::unordered_map<std::uint64_t, Token> cashed_;
+};
+
+}  // namespace fairswap::accounting

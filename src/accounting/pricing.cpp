@@ -1,0 +1,30 @@
+#include "accounting/pricing.hpp"
+
+namespace fairswap::accounting {
+
+Token XorDistancePricer::price(const AddressSpace& space, Address payee,
+                               Address chunk) const {
+  const auto dist = static_cast<Token::rep>(space.distance(payee, chunk));
+  return Token((dist + 1)) * base_;
+}
+
+Token ProximityPricer::price(const AddressSpace& space, Address payee,
+                             Address chunk) const {
+  const int po = space.proximity(payee, chunk);
+  const auto steps = static_cast<Token::rep>(space.bits() - po);
+  return Token(steps > 0 ? steps : 1) * base_;
+}
+
+Token FlatPricer::price(const AddressSpace& /*space*/, Address /*payee*/,
+                        Address /*chunk*/) const {
+  return Token(base_);
+}
+
+std::unique_ptr<Pricer> make_pricer(const std::string& name) {
+  if (name == "xor-distance") return std::make_unique<XorDistancePricer>();
+  if (name == "proximity") return std::make_unique<ProximityPricer>();
+  if (name == "flat") return std::make_unique<FlatPricer>();
+  return nullptr;
+}
+
+}  // namespace fairswap::accounting

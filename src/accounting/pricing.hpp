@@ -1,0 +1,86 @@
+// Pricing of chunk deliveries in accounting units.
+//
+// The paper: "Each request for either upload and download is priced
+// respective to the distance between the requester and the destination"
+// and, for the evaluation, "the amount of accounting units paid is
+// calculated by using the XOR metric to find the distance to the closest
+// node to the storer". The exact functional form is not pinned down, so
+// pricing is a strategy interface with three implementations:
+//
+//  * XorDistancePricer  — units proportional to xor(payee, chunk); the
+//    interpretation closest to the paper's wording, and the default used
+//    by the paper-reproduction benches.
+//  * ProximityPricer    — bee's schedule: (maxPO - PO(payee, chunk) + 1) *
+//    base; linear in *prefix* distance rather than numeric distance.
+//  * FlatPricer         — one unit per chunk; isolates topology effects
+//    from price effects in ablations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/address.hpp"
+#include "common/token.hpp"
+
+namespace fairswap::accounting {
+
+/// Strategy interface: the accounting units a payer owes `payee` for
+/// delivering the chunk at `chunk`.
+class Pricer {
+ public:
+  virtual ~Pricer() = default;
+
+  [[nodiscard]] virtual Token price(const AddressSpace& space, Address payee,
+                                    Address chunk) const = 0;
+
+  /// Human-readable identifier for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// units = base * (xor(payee, chunk) + 1). The +1 keeps the price strictly
+/// positive even when the payee is the storer itself.
+class XorDistancePricer final : public Pricer {
+ public:
+  explicit XorDistancePricer(Token::rep base = 1) noexcept : base_(base) {}
+
+  [[nodiscard]] Token price(const AddressSpace& space, Address payee,
+                            Address chunk) const override;
+  [[nodiscard]] std::string name() const override { return "xor-distance"; }
+
+ private:
+  Token::rep base_;
+};
+
+/// units = base * (bits - PO(payee, chunk)); deeper proximity is cheaper,
+/// mirroring bee's pricer (headers carry price = (maxPO - PO + 1) * base;
+/// we use maxPO = bits so a perfect-match payee costs 0... clamped to 1).
+class ProximityPricer final : public Pricer {
+ public:
+  explicit ProximityPricer(Token::rep base = 10) noexcept : base_(base) {}
+
+  [[nodiscard]] Token price(const AddressSpace& space, Address payee,
+                            Address chunk) const override;
+  [[nodiscard]] std::string name() const override { return "proximity"; }
+
+ private:
+  Token::rep base_;
+};
+
+/// units = base, regardless of distance.
+class FlatPricer final : public Pricer {
+ public:
+  explicit FlatPricer(Token::rep base = 1) noexcept : base_(base) {}
+
+  [[nodiscard]] Token price(const AddressSpace& space, Address payee,
+                            Address chunk) const override;
+  [[nodiscard]] std::string name() const override { return "flat"; }
+
+ private:
+  Token::rep base_;
+};
+
+/// Factory by name ("xor-distance", "proximity", "flat") for config-driven
+/// benches; unknown names return nullptr.
+[[nodiscard]] std::unique_ptr<Pricer> make_pricer(const std::string& name);
+
+}  // namespace fairswap::accounting

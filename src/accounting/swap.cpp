@@ -1,0 +1,99 @@
+#include "accounting/swap.hpp"
+
+#include <cassert>
+
+namespace fairswap::accounting {
+
+SwapNetwork::SwapNetwork(std::size_t node_count, SwapConfig config)
+    : config_(config), income_(node_count), spent_(node_count) {
+  assert(config.disconnect_threshold >= config.payment_threshold);
+}
+
+DebitResult SwapNetwork::debit(NodeIndex consumer, NodeIndex provider, Token amount,
+                               bool can_settle) {
+  assert(consumer != provider);
+  assert(!amount.negative());
+  const NodeIndex lo = consumer < provider ? consumer : provider;
+  const NodeIndex hi = consumer < provider ? provider : consumer;
+  Token& bal = balances_[pair_key(lo, hi)];
+
+  // Normalize to the provider's perspective: provider_credit = how much
+  // the consumer owes the provider after this service.
+  const bool provider_is_lo = (provider == lo);
+  const Token provider_credit = provider_is_lo ? bal : -bal;
+  const Token new_credit = provider_credit + amount;
+
+  if (new_credit > config_.disconnect_threshold &&
+      !(can_settle && new_credit >= config_.payment_threshold)) {
+    return DebitResult::kDisconnected;
+  }
+
+  if (can_settle && new_credit >= config_.payment_threshold) {
+    // Debtor settles the full outstanding debt (bee pays down to zero).
+    income_[provider] += new_credit;
+    spent_[consumer] += new_credit;
+    settlements_.push_back({consumer, provider, new_credit, tick_});
+    bal = Token(0);
+    return DebitResult::kSettled;
+  }
+
+  bal = provider_is_lo ? new_credit : -new_credit;
+  return DebitResult::kOk;
+}
+
+void SwapNetwork::pay_direct(NodeIndex consumer, NodeIndex provider, Token amount) {
+  assert(consumer != provider);
+  assert(!amount.negative());
+  income_[provider] += amount;
+  spent_[consumer] += amount;
+  settlements_.push_back({consumer, provider, amount, tick_});
+}
+
+void SwapNetwork::mint(NodeIndex node, Token amount) {
+  assert(!amount.negative());
+  income_[node] += amount;
+}
+
+Token SwapNetwork::balance(NodeIndex provider, NodeIndex peer) const {
+  const NodeIndex lo = provider < peer ? provider : peer;
+  const NodeIndex hi = provider < peer ? peer : provider;
+  const auto it = balances_.find(pair_key(lo, hi));
+  if (it == balances_.end()) return Token(0);
+  return provider == lo ? it->second : -it->second;
+}
+
+std::size_t SwapNetwork::amortize_tick() {
+  ++tick_;
+  const Token step = config_.amortization_per_tick;
+  if (step.is_zero()) return 0;
+  std::size_t zeroed = 0;
+  for (auto& [key, bal] : balances_) {
+    if (bal.is_zero()) continue;
+    if (bal.abs() <= step) {
+      bal = Token(0);
+      ++zeroed;
+    } else if (bal.negative()) {
+      bal += step;
+    } else {
+      bal -= step;
+    }
+  }
+  return zeroed;
+}
+
+Token SwapNetwork::outstanding_debt() const {
+  Token total;
+  for (const auto& [key, bal] : balances_) total += bal.abs();
+  return total;
+}
+
+void SwapNetwork::for_each_pair(
+    const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const {
+  for (const auto& [key, bal] : balances_) {
+    const auto lo = static_cast<NodeIndex>(key >> 32);
+    const auto hi = static_cast<NodeIndex>(key & 0xffffffffu);
+    fn(lo, hi, bal);
+  }
+}
+
+}  // namespace fairswap::accounting

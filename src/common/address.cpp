@@ -1,0 +1,58 @@
+#include "common/address.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace fairswap {
+
+AddressSpace::AddressSpace(int bits) noexcept : bits_(std::clamp(bits, 1, 32)) {}
+
+bool AddressSpace::contains(Address a) const noexcept {
+  if (bits_ == 32) return true;
+  return (a.v >> bits_) == 0;
+}
+
+int AddressSpace::proximity(Address a, Address b) const noexcept {
+  const AddressValue x = a.v ^ b.v;
+  if (x == 0) return bits_;
+  // countl_zero operates on the full 32-bit value; shift the space's MSB up
+  // to bit 31 first.
+  const int lz = std::countl_zero(x << (32 - bits_));
+  return std::min(lz, bits_);
+}
+
+int AddressSpace::bucket_index(Address self, Address other) const noexcept {
+  const int po = proximity(self, other);
+  return std::min(po, bits_ - 1);
+}
+
+AddressValue AddressSpace::distance(Address a, Address b) const noexcept {
+  assert(contains(a) && contains(b));
+  return xor_distance(a, b);
+}
+
+bool AddressSpace::closer(Address a, Address b, Address target) const noexcept {
+  return distance(a, target) < distance(b, target);
+}
+
+std::string AddressSpace::to_binary(Address a) const {
+  std::string out(static_cast<std::size_t>(bits_), '0');
+  for (int i = 0; i < bits_; ++i) {
+    if ((a.v >> (bits_ - 1 - i)) & 1u) out[static_cast<std::size_t>(i)] = '1';
+  }
+  return out;
+}
+
+std::string AddressSpace::to_decimal(Address a) { return std::to_string(a.v); }
+
+Address AddressSpace::from_binary(const std::string& s) {
+  AddressValue v = 0;
+  for (char c : s) {
+    v = static_cast<AddressValue>(v << 1);
+    if (c == '1') v |= 1u;
+  }
+  return Address{v};
+}
+
+}  // namespace fairswap

@@ -1,0 +1,97 @@
+// Overlay addresses and the XOR (Kademlia) metric.
+//
+// Swarm addresses nodes *and* content on the same address space; proximity
+// between any two addresses is measured by the length of their common bit
+// prefix, and distance by XOR interpreted as an unsigned integer
+// (Maymounkov & Mazieres, 2002). The paper's simulation uses a 16-bit
+// space; we support any width from 1 to 32 bits at runtime so tests can use
+// the 8-bit example of the paper's Fig. 3 and experiments the 16-bit space.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fairswap {
+
+/// Raw value type backing an overlay address. Only the low `bits` bits of
+/// the value are meaningful for a given AddressSpace.
+using AddressValue = std::uint32_t;
+
+/// A strongly-typed overlay address. Nodes and chunks share this type: in
+/// Swarm both live in the same address space, which is what makes
+/// "the node closest to a chunk" well defined.
+struct Address {
+  AddressValue v{0};
+
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+};
+
+/// XOR distance between two addresses. The metric is symmetric, satisfies
+/// the triangle inequality, and is unidirectional (for any target and
+/// distance there is at most one address at that distance).
+[[nodiscard]] constexpr AddressValue xor_distance(Address a, Address b) noexcept {
+  return a.v ^ b.v;
+}
+
+/// An address space of `bits` bits (1..32). Provides the prefix/bucket
+/// arithmetic used by Kademlia routing tables.
+class AddressSpace {
+ public:
+  /// Constructs a space with the given bit width. Widths outside [1, 32]
+  /// are clamped; the paper's simulations use 16.
+  explicit AddressSpace(int bits) noexcept;
+
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+
+  /// Number of distinct addresses in the space (2^bits).
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << bits_;
+  }
+
+  /// True if `a` fits within this space (its high bits are zero).
+  [[nodiscard]] bool contains(Address a) const noexcept;
+
+  /// Proximity order: the number of leading bits `a` and `b` share, in
+  /// [0, bits]. PO == bits iff a == b. Swarm calls this "PO".
+  [[nodiscard]] int proximity(Address a, Address b) const noexcept;
+
+  /// The Kademlia bucket index a node with address `self` files `other`
+  /// under: the index of the first differing bit, equal to
+  /// proximity(self, other). Precondition: self != other (an address is
+  /// never in its own table); returns bits-1's bucket clamp otherwise.
+  [[nodiscard]] int bucket_index(Address self, Address other) const noexcept;
+
+  /// XOR distance, identical to xor_distance but asserts containment in
+  /// debug builds.
+  [[nodiscard]] AddressValue distance(Address a, Address b) const noexcept;
+
+  /// True if `a` is strictly closer to `target` than `b` is.
+  [[nodiscard]] bool closer(Address a, Address b, Address target) const noexcept;
+
+  /// Renders an address as a zero-padded binary string of `bits` digits,
+  /// matching the bucket diagrams in the paper (Fig. 3).
+  [[nodiscard]] std::string to_binary(Address a) const;
+
+  /// Renders an address as decimal (the paper refers to nodes by decimal
+  /// ids, e.g. "node 91").
+  [[nodiscard]] static std::string to_decimal(Address a);
+
+  /// Parses a binary string ("01011011") into an address.
+  [[nodiscard]] static Address from_binary(const std::string& s);
+
+  friend bool operator==(const AddressSpace&, const AddressSpace&) = default;
+
+ private:
+  int bits_;
+};
+
+}  // namespace fairswap
+
+template <>
+struct std::hash<fairswap::Address> {
+  std::size_t operator()(const fairswap::Address& a) const noexcept {
+    return std::hash<fairswap::AddressValue>{}(a.v);
+  }
+};

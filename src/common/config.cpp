@@ -1,0 +1,106 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace fairswap {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    // Accept --key=value as well as key=value.
+    if (token.rfind("--", 0) == 0) token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      cfg.positional_.push_back(token);
+    } else {
+      cfg.set(trim(token.substr(0, eq)), trim(token.substr(eq + 1)));
+    }
+  }
+  return cfg;
+}
+
+Config Config::from_text(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      cfg.positional_.push_back(line);
+    } else {
+      cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key, const std::string& dflt) const {
+  return get(key).value_or(dflt);
+}
+
+std::int64_t Config::get_or(const std::string& key, std::int64_t dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  return (end && *end == '\0' && !v->empty()) ? parsed : dflt;
+}
+
+std::uint64_t Config::get_or(const std::string& key, std::uint64_t dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+  return (end && *end == '\0' && !v->empty()) ? parsed : dflt;
+}
+
+double Config::get_or(const std::string& key, double dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  return (end && *end == '\0' && !v->empty()) ? parsed : dflt;
+}
+
+bool Config::get_or(const std::string& key, bool dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return dflt;
+}
+
+}  // namespace fairswap

@@ -1,0 +1,47 @@
+// Tiny key=value configuration parsing for examples and benches
+// (e.g. "nodes=1000 k=4 files=10000 originators=0.2 seed=42").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fairswap {
+
+/// A flat string->string key/value store parsed from "key=value" tokens,
+/// one per token (CLI args) or one per line (files; '#' starts a comment).
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style tokens: every "k=v" token is stored; tokens without
+  /// '=' are collected as positional arguments.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses newline-separated "k=v" text.
+  static Config from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters with defaults. Malformed values fall back to the
+  /// default (and are reported via last_error()).
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& dflt) const;
+  [[nodiscard]] std::int64_t get_or(const std::string& key, std::int64_t dflt) const;
+  [[nodiscard]] std::uint64_t get_or(const std::string& key, std::uint64_t dflt) const;
+  [[nodiscard]] double get_or(const std::string& key, double dflt) const;
+  [[nodiscard]] bool get_or(const std::string& key, bool dflt) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairswap

@@ -1,0 +1,29 @@
+#include "common/csv.hpp"
+
+namespace fairswap {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) *out_ << ',';
+    *out_ << escape(c);
+    first = false;
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace fairswap

@@ -1,0 +1,49 @@
+// Minimal CSV emission for experiment outputs. Every bench writes its
+// series both as human-readable tables (table.hpp) and as CSV so plots can
+// be regenerated offline.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fairswap {
+
+/// Streams rows of comma-separated values with correct quoting. The writer
+/// does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; values containing commas, quotes or newlines are
+  /// quoted per RFC 4180.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience variadic row builder: accepts strings and arithmetic
+  /// values.
+  template <typename... Ts>
+  void cells(const Ts&... vs) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(vs));
+    (r.push_back(to_cell(vs)), ...);
+    row(r);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::ostream* out_;
+  std::size_t rows_{0};
+};
+
+}  // namespace fairswap

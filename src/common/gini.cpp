@@ -1,0 +1,91 @@
+#include "common/gini.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+namespace fairswap {
+
+double gini_naive(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  if (total == 0.0) return 0.0;
+  double abs_diff_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      abs_diff_sum += std::abs(values[i] - values[j]);
+    }
+  }
+  return abs_diff_sum / (2.0 * static_cast<double>(n) * total);
+}
+
+double gini(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (total == 0.0) return 0.0;
+  const double dn = static_cast<double>(n);
+  return (2.0 * weighted) / (dn * total) - (dn + 1.0) / dn;
+}
+
+double gini(std::span<const std::uint64_t> values) {
+  std::vector<double> d(values.size());
+  std::transform(values.begin(), values.end(), d.begin(),
+                 [](std::uint64_t v) { return static_cast<double>(v); });
+  return gini(std::span<const double>(d));
+}
+
+std::vector<LorenzPoint> lorenz_curve(std::span<const double> values,
+                                      std::size_t max_points) {
+  std::vector<LorenzPoint> curve;
+  const std::size_t n = values.size();
+  curve.push_back({0.0, 0.0});
+  if (n == 0) {
+    curve.push_back({1.0, 1.0});
+    return curve;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+
+  // Choose which observation indices to emit (evenly spaced when
+  // down-sampling; always include the last).
+  const std::size_t points = (max_points == 0 || max_points >= n) ? n : max_points;
+  double cumulative = 0.0;
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cumulative += sorted[i];
+    // Emit when i+1 crosses the next sampling boundary.
+    const std::size_t boundary = (emitted + 1) * n / points;
+    if (i + 1 >= boundary) {
+      const double pop = static_cast<double>(i + 1) / static_cast<double>(n);
+      const double val = total == 0.0 ? pop : cumulative / total;
+      curve.push_back({pop, val});
+      ++emitted;
+    }
+  }
+  if (curve.back().population_share < 1.0) curve.push_back({1.0, 1.0});
+  return curve;
+}
+
+double gini_from_lorenz(std::span<const LorenzPoint> curve) {
+  if (curve.size() < 2) return 0.0;
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].population_share - curve[i - 1].population_share;
+    auc += dx * (curve[i].value_share + curve[i - 1].value_share) / 2.0;
+  }
+  return 1.0 - 2.0 * auc;
+}
+
+}  // namespace fairswap

@@ -1,0 +1,56 @@
+// Gini coefficient and Lorenz curves — the paper's fairness metrology.
+//
+// The paper (Eq. 1) measures both fairness properties with the Gini
+// coefficient of a value set {v_1..v_n}:
+//
+//     G = ( Σ_i Σ_j |v_i - v_j| ) / ( 2 n Σ_i v_i )
+//
+// G == 0 means all values are equal (perfect equality); G -> 1 means one
+// participant holds everything. For F2 the values are per-node incomes; for
+// F1 the values are per-node resource-per-reward ratios, computed only over
+// nodes that received a reward.
+//
+// We provide both the O(n^2) textbook formula (oracle, used in tests) and
+// the O(n log n) sorted formulation used everywhere else, plus Lorenz curve
+// extraction for the paper's Figs. 5 and 6.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fairswap {
+
+/// O(n^2) mean-absolute-difference Gini, the literal transcription of the
+/// paper's Eq. (1). Returns 0 for empty input or zero total.
+[[nodiscard]] double gini_naive(std::span<const double> values);
+
+/// O(n log n) Gini via the sorted identity
+///   G = (2 Σ_i i*x_(i) ) / (n Σ x) - (n+1)/n,   i = 1..n over sorted x.
+/// Agrees with gini_naive to floating-point tolerance (tested).
+[[nodiscard]] double gini(std::span<const double> values);
+
+/// Convenience overload for integral counters (incomes, chunk counts).
+[[nodiscard]] double gini(std::span<const std::uint64_t> values);
+
+/// One point of a Lorenz curve: after including the poorest
+/// `population_share` fraction of the population, they hold `value_share`
+/// of the total value. Both coordinates are in [0, 1].
+struct LorenzPoint {
+  double population_share{0.0};
+  double value_share{0.0};
+};
+
+/// Computes the Lorenz curve of `values` (sorted ascending internally).
+/// The returned curve always starts at (0,0) and ends at (1,1) and has at
+/// most `max_points + 1` entries (down-sampled evenly for plotting; pass 0
+/// for one point per observation). A diagonal curve means perfect equality.
+[[nodiscard]] std::vector<LorenzPoint> lorenz_curve(std::span<const double> values,
+                                                    std::size_t max_points = 0);
+
+/// Gini computed from a Lorenz curve by trapezoidal integration:
+///   G = 1 - 2 * AUC. Useful to cross-check curve extraction.
+[[nodiscard]] double gini_from_lorenz(std::span<const LorenzPoint> curve);
+
+}  // namespace fairswap

@@ -1,0 +1,72 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace fairswap {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {
+  assert(hi > lo);
+}
+
+std::size_t Histogram::bin_for(double value) const noexcept {
+  if (value < lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double value, std::uint64_t weight) noexcept {
+  counts_[bin_for(value)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_left(std::size_t bin) const noexcept {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_right(std::size_t bin) const noexcept {
+  return bin_left(bin) + width_;
+}
+
+double Histogram::bin_center(std::size_t bin) const noexcept {
+  return bin_left(bin) + width_ / 2.0;
+}
+
+double Histogram::area() const noexcept {
+  double a = 0.0;
+  for (std::uint64_t c : counts_) a += static_cast<double>(c) * width_;
+  return a;
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::uint64_t peak = 0;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t c = counts_[b];
+    const std::size_t bar =
+        peak == 0 ? 0 : static_cast<std::size_t>(static_cast<double>(c) /
+                                                 static_cast<double>(peak) *
+                                                 static_cast<double>(max_bar_width));
+    out << "[" << static_cast<std::uint64_t>(bin_left(b)) << ", "
+        << static_cast<std::uint64_t>(bin_right(b)) << ") "
+        << std::string(bar, '#') << " " << c << "\n";
+  }
+  return out.str();
+}
+
+Histogram histogram_of(std::span<const std::uint64_t> values, std::size_t bins) {
+  std::uint64_t max_v = 0;
+  for (std::uint64_t v : values) max_v = std::max(max_v, v);
+  const double hi = static_cast<double>(max_v) + 1.0;
+  Histogram h(0.0, hi, bins);
+  for (std::uint64_t v : values) h.add(static_cast<double>(v));
+  return h;
+}
+
+}  // namespace fairswap

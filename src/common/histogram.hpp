@@ -1,0 +1,59 @@
+// Fixed-width binned histograms, used for the paper's Fig. 4 (distribution
+// of forwarded chunks per node).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fairswap {
+
+/// A histogram over [lo, hi) with `bins` equal-width bins. Values below lo
+/// land in the first bin; values at or above hi land in the last bin
+/// (clamping keeps totals conserved, which the Fig. 4 harness relies on).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Inclusive-exclusive bounds [left, right) of a bin.
+  [[nodiscard]] double bin_left(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_right(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_center(std::size_t bin) const noexcept;
+
+  /// The bin a value maps to (after clamping).
+  [[nodiscard]] std::size_t bin_for(double value) const noexcept;
+
+  /// Sum over bins of count*bin_width — the "area under the curve" the
+  /// paper compares across k values in Fig. 4.
+  [[nodiscard]] double area() const noexcept;
+
+  /// Renders a plain-text bar chart (one line per bin) for terminal output.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+/// Builds a histogram from a sample, choosing bounds from the data
+/// (lo = 0, hi = max + one bin of headroom).
+[[nodiscard]] Histogram histogram_of(std::span<const std::uint64_t> values,
+                                     std::size_t bins);
+
+}  // namespace fairswap

@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace fairswap {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel Log::level() noexcept { return g_level.load(); }
+
+const char* Log::level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (level < g_level.load() || message.empty()) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "%-5s %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace fairswap

@@ -1,0 +1,54 @@
+// Leveled logging. Simulations log topology construction, settlement
+// events and experiment milestones; tests silence it by raising the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fairswap {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  /// Minimum level that is emitted (default kWarn so library users are not
+  /// spammed; benches raise to kInfo explicitly).
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+
+  /// Emits a single line "LEVEL component: message" to stderr if `level`
+  /// passes the filter.
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+
+  [[nodiscard]] static const char* level_name(LogLevel level) noexcept;
+};
+
+/// Stream-style emission helper:
+///   FAIRSWAP_LOG(kInfo, "overlay") << "built " << n << " tables";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Log::write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= Log::level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define FAIRSWAP_LOG(level, component) \
+  ::fairswap::LogLine(::fairswap::LogLevel::level, component)
+
+}  // namespace fairswap

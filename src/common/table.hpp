@@ -1,0 +1,34 @@
+// ASCII table rendering. The paper's Table I (and our ablation tables) are
+// printed through this so benches produce aligned, diff-friendly output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fairswap {
+
+/// Builds a fixed-column ASCII table. Cells are strings; numeric helpers
+/// format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; missing trailing cells render empty, extra cells
+  /// are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Renders with +- borders and column padding.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fairswap

@@ -1,0 +1,18 @@
+#include "common/token.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fairswap {
+
+std::string Token::to_string() const {
+  const rep whole = units_ / kUnitsPerToken;
+  rep frac = units_ % kUnitsPerToken;
+  if (frac < 0) frac = -frac;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%" PRId64 ".%09" PRId64 " FST",
+                (units_ < 0 && whole == 0) ? "-" : "", whole, frac);
+  return buf;
+}
+
+}  // namespace fairswap

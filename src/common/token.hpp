@@ -1,0 +1,90 @@
+// Fixed-point token amounts.
+//
+// Swarm denominates bandwidth debt in accounting units and settles in BZZ
+// (1 BZZ = 1e16 PLUR). Floating point is unsuitable for balances that must
+// mirror exactly between two peers, so Token is a checked 64-bit signed
+// fixed-point amount denominated in PLUR-like base units.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace fairswap {
+
+/// A signed token amount in base units. Arithmetic saturates instead of
+/// wrapping on overflow (overflow in a simulation experiment indicates a
+/// misconfigured price; saturation keeps the run inspectable instead of UB).
+class Token {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Token() = default;
+  explicit constexpr Token(rep base_units) noexcept : units_(base_units) {}
+
+  /// Number of base units per whole token (mirrors Swarm's 1 BZZ = 1e16
+  /// PLUR scale; we use 1e9 to keep headroom in 64 bits).
+  static constexpr rep kUnitsPerToken = 1'000'000'000;
+
+  /// Builds an amount from a whole-token count.
+  [[nodiscard]] static constexpr Token whole(rep tokens) noexcept {
+    return Token(saturating_mul(tokens, kUnitsPerToken));
+  }
+
+  [[nodiscard]] constexpr rep base_units() const noexcept { return units_; }
+  [[nodiscard]] constexpr double tokens() const noexcept {
+    return static_cast<double>(units_) / static_cast<double>(kUnitsPerToken);
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return units_ == 0; }
+  [[nodiscard]] constexpr bool negative() const noexcept { return units_ < 0; }
+
+  friend constexpr auto operator<=>(const Token&, const Token&) = default;
+
+  constexpr Token operator-() const noexcept {
+    if (units_ == std::numeric_limits<rep>::min()) return Token(std::numeric_limits<rep>::max());
+    return Token(-units_);
+  }
+
+  constexpr Token& operator+=(Token rhs) noexcept {
+    units_ = saturating_add(units_, rhs.units_);
+    return *this;
+  }
+  constexpr Token& operator-=(Token rhs) noexcept { return *this += (-rhs); }
+
+  friend constexpr Token operator+(Token a, Token b) noexcept { return a += b; }
+  friend constexpr Token operator-(Token a, Token b) noexcept { return a -= b; }
+  friend constexpr Token operator*(Token a, rep m) noexcept {
+    return Token(saturating_mul(a.units_, m));
+  }
+
+  /// Absolute value (saturating at max for INT64_MIN).
+  [[nodiscard]] constexpr Token abs() const noexcept {
+    return units_ < 0 ? -*this : *this;
+  }
+
+  /// Renders as "<whole>.<frac> FST" (FairSwap token) for reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr rep saturating_add(rep a, rep b) noexcept {
+    rep out = 0;
+    if (__builtin_add_overflow(a, b, &out)) {
+      return a > 0 ? std::numeric_limits<rep>::max() : std::numeric_limits<rep>::min();
+    }
+    return out;
+  }
+  static constexpr rep saturating_mul(rep a, rep b) noexcept {
+    rep out = 0;
+    if (__builtin_mul_overflow(a, b, &out)) {
+      const bool negative = (a < 0) != (b < 0);
+      return negative ? std::numeric_limits<rep>::min() : std::numeric_limits<rep>::max();
+    }
+    return out;
+  }
+
+  rep units_{0};
+};
+
+}  // namespace fairswap

@@ -1,0 +1,34 @@
+#include "core/cadcad_adapter.hpp"
+
+namespace fairswap::core {
+
+engine::Engine<CadState, CadSignals> make_paper_engine() {
+  engine::Engine<CadState, CadSignals> eng;
+  engine::Block<CadState, CadSignals> download_block;
+  download_block.label = "file-download";
+
+  // Policy: draw the next file request from the workload generator.
+  download_block.policies.push_back(
+      [](const CadState& state, std::uint64_t /*timestep*/, CadSignals& sig) {
+        sig.request = state.sim->generator_mut().next();
+        sig.has_request = true;
+      });
+
+  // State update: route every chunk of the file and apply accounting.
+  download_block.updaters.push_back(
+      [](CadState& state, const CadSignals& sig, std::uint64_t /*timestep*/) {
+        if (sig.has_request) state.sim->apply(sig.request);
+      });
+
+  eng.add_block(std::move(download_block));
+  return eng;
+}
+
+std::uint64_t run_with_engine(Simulation& sim, std::size_t files,
+                              const engine::Hooks<CadState>& hooks) {
+  auto eng = make_paper_engine();
+  CadState state{&sim};
+  return eng.run(state, files, hooks);
+}
+
+}  // namespace fairswap::core

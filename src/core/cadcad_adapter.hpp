@@ -1,0 +1,46 @@
+// cadCAD-style formulation of the paper's simulation.
+//
+// The paper builds its simulator on cadCAD: "The cadCAD simulation engine
+// is used to create the simulation phases. For each step, we simulate the
+// download of a single file." This adapter expresses core::Simulation in
+// exactly those terms — a single partial state update block whose policy
+// function draws the next file request (the signal) and whose state
+// update function routes and accounts it — and is verified equivalent to
+// Simulation::run by the engine tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulation.hpp"
+#include "engine/engine.hpp"
+#include "workload/download_generator.hpp"
+
+namespace fairswap::core {
+
+/// The engine state: a borrowed simulation. cadCAD state is conceptually
+/// immutable per substep; holding the simulation by pointer mirrors
+/// cadCAD's practice of carrying rich objects in the state dict while the
+/// engine sequences access to them.
+struct CadState {
+  Simulation* sim{nullptr};
+};
+
+/// Signals produced by the block's policy functions.
+struct CadSignals {
+  workload::DownloadRequest request;
+  bool has_request{false};
+};
+
+/// The paper's step engine: one block, one policy ("generate the next
+/// file download"), one state-update function ("route every chunk and
+/// settle payments").
+[[nodiscard]] engine::Engine<CadState, CadSignals> make_paper_engine();
+
+/// Runs `files` timesteps of the paper engine over `sim`. Equivalent to
+/// sim.run(files) — the engine formulation exists so experiments can
+/// splice extra policies/updaters (churn, amortization schedules,
+/// observers) between the paper's phases.
+std::uint64_t run_with_engine(Simulation& sim, std::size_t files,
+                              const engine::Hooks<CadState>& hooks = {});
+
+}  // namespace fairswap::core

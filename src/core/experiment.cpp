@@ -1,0 +1,61 @@
+#include "core/experiment.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace fairswap::core {
+
+overlay::Topology build_topology(const ExperimentConfig& config) {
+  Rng root(config.seed);
+  Rng topo_rng = root.split(0);
+  return overlay::Topology::build(config.topology, topo_rng);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const overlay::Topology topo = build_topology(config);
+  return run_experiment(topo, config);
+}
+
+ExperimentResult run_experiment(const overlay::Topology& topo,
+                                const ExperimentConfig& config) {
+  if (topo.node_count() != config.topology.node_count) {
+    throw std::invalid_argument(
+        "experiment topology config does not match the provided topology");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  Rng root(config.seed);
+  Rng sim_rng = root.split(1);
+  Simulation sim(topo, config.sim, sim_rng);
+  sim.run(config.files);
+
+  ExperimentResult result;
+  result.config = config;
+  result.totals = sim.totals();
+  result.served_per_node = sim.served_per_node();
+  result.first_hop_per_node = sim.first_hop_per_node();
+  result.income_per_node = sim.income_per_node();
+  result.served_summary =
+      summarize(std::span<const std::uint64_t>(result.served_per_node));
+  result.avg_forwarded_chunks = result.served_summary.mean;
+  result.fairness = compute_fairness(
+      FairnessInputs{result.served_per_node, result.first_hop_per_node,
+                     result.income_per_node},
+      config.lorenz_points);
+  result.routing_success =
+      result.totals.chunk_requests == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(result.totals.failed_routes) /
+                      static_cast<double>(result.totals.chunk_requests);
+  result.settlement_count = sim.swap().settlements().size();
+  for (const auto& c : sim.counters()) result.cache_serves += c.cache_serves;
+  for (const double v : result.income_per_node) result.total_income += v;
+  result.outstanding_debt =
+      static_cast<double>(sim.swap().outstanding_debt().base_units());
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace fairswap::core

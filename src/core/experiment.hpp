@@ -1,0 +1,68 @@
+// Experiment orchestration: build (or reuse) a topology, run a simulation,
+// collect every series the paper's tables and figures need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/fairness.hpp"
+#include "core/simulation.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::core {
+
+/// A complete experiment description: one topology, one simulation
+/// configuration, a file count and a seed. Equal configs reproduce equal
+/// results bit-for-bit.
+struct ExperimentConfig {
+  std::string label;
+  overlay::TopologyConfig topology{};
+  SimulationConfig sim{};
+  std::size_t files{10'000};
+  std::uint64_t seed{kDefaultSeed};
+  /// Lorenz curve resolution in the report (0 = per-node points).
+  std::size_t lorenz_points{0};
+};
+
+/// Everything a bench needs to print a paper table/figure row.
+struct ExperimentResult {
+  ExperimentConfig config;
+  FairnessReport fairness;
+  SimulationTotals totals;
+  /// Per-node chunks-served summary; .mean is Table I's "average forwarded
+  /// chunks".
+  Summary served_summary;
+  double avg_forwarded_chunks{0.0};
+  std::vector<std::uint64_t> served_per_node;
+  std::vector<std::uint64_t> first_hop_per_node;
+  std::vector<double> income_per_node;
+  /// Fraction of chunk requests whose greedy route reached the storer.
+  double routing_success{0.0};
+  /// Number of settlement events (direct payments + threshold cheques).
+  std::uint64_t settlement_count{0};
+  /// Chunks served out of relay LRU caches (0 when caching is disabled).
+  std::uint64_t cache_serves{0};
+  /// Sum of all node incomes, in token base units.
+  double total_income{0.0};
+  /// Unsettled SWAP debt left at the end of the run (base units) — the
+  /// bandwidth that was provided but never produced income.
+  double outstanding_debt{0.0};
+  double runtime_seconds{0.0};
+};
+
+/// Runs an experiment end to end (topology built from config.seed).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs against an already-built topology (the paper reuses one overlay
+/// for multiple simulations). The topology must match config.topology in
+/// node count.
+[[nodiscard]] ExperimentResult run_experiment(const overlay::Topology& topo,
+                                              const ExperimentConfig& config);
+
+/// Builds the topology an ExperimentConfig describes (seed-split stream 0).
+[[nodiscard]] overlay::Topology build_topology(const ExperimentConfig& config);
+
+}  // namespace fairswap::core

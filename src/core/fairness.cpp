@@ -1,0 +1,50 @@
+#include "core/fairness.hpp"
+
+#include <cassert>
+
+namespace fairswap::core {
+
+double gini_f2(std::span<const double> income) { return gini(income); }
+
+double gini_f1(std::span<const std::uint64_t> resources,
+               std::span<const std::uint64_t> rewards) {
+  assert(resources.size() == rewards.size());
+  std::vector<double> ratios;
+  ratios.reserve(resources.size());
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    if (rewards[i] == 0) continue;  // paper: omit peers without reward
+    ratios.push_back(static_cast<double>(resources[i]) /
+                     static_cast<double>(rewards[i]));
+  }
+  return gini(std::span<const double>(ratios));
+}
+
+FairnessReport compute_fairness(const FairnessInputs& in,
+                                std::size_t lorenz_points) {
+  assert(in.served.size() == in.served_first_hop.size());
+  assert(in.served.size() == in.income.size());
+
+  FairnessReport report;
+  report.gini_f2 = gini_f2(in.income);
+  report.gini_f1 = gini_f1(in.served, in.served_first_hop);
+  report.lorenz_f2 = lorenz_curve(in.income, lorenz_points);
+
+  std::vector<double> f1_ratios;
+  std::vector<double> f1_income_ratios;
+  for (std::size_t i = 0; i < in.served.size(); ++i) {
+    if (in.served_first_hop[i] > 0) {
+      ++report.rewarded_nodes;
+      f1_ratios.push_back(static_cast<double>(in.served[i]) /
+                          static_cast<double>(in.served_first_hop[i]));
+    }
+    if (in.income[i] > 0.0) {
+      ++report.earning_nodes;
+      f1_income_ratios.push_back(static_cast<double>(in.served[i]) / in.income[i]);
+    }
+  }
+  report.gini_f1_income = gini(std::span<const double>(f1_income_ratios));
+  report.lorenz_f1 = lorenz_curve(std::span<const double>(f1_ratios), lorenz_points);
+  return report;
+}
+
+}  // namespace fairswap::core

@@ -1,0 +1,62 @@
+// F1 / F2 fairness metrology — the paper's §II-A, computed exactly as
+// specified:
+//
+//  F2 ("peers willing to provide the same resources should be able to
+//      receive an equal share of the reward"): the Gini coefficient of
+//      per-node income. Fig. 5.
+//
+//  F1 ("rewards should be proportional to a peer's resource contribution"):
+//      per node, divide resources used (chunks served) by the received
+//      reward; Gini over those ratios, "omitting the peers that did not
+//      receive any reward". Fig. 6 uses chunks-served-as-first-hop as the
+//      reward proxy; we also report the token-income variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/gini.hpp"
+
+namespace fairswap::core {
+
+/// Inputs: three same-length per-node vectors.
+struct FairnessInputs {
+  std::span<const std::uint64_t> served;           ///< total chunks transmitted
+  std::span<const std::uint64_t> served_first_hop; ///< paid (zero-proximity) serves
+  std::span<const double> income;                  ///< token income (base units)
+};
+
+/// The paper's fairness measurements plus the Lorenz curves behind them.
+struct FairnessReport {
+  /// F2: Gini of income across all nodes (Fig. 5).
+  double gini_f2{0.0};
+  /// F1: Gini of served/first-hop-served ratios across nodes with at least
+  /// one paid serve (Fig. 6).
+  double gini_f1{0.0};
+  /// F1 variant using token income as the reward denominator.
+  double gini_f1_income{0.0};
+  /// Lorenz curve of income (Fig. 5).
+  std::vector<LorenzPoint> lorenz_f2;
+  /// Lorenz curve of the F1 ratios (Fig. 6).
+  std::vector<LorenzPoint> lorenz_f1;
+  /// Nodes with served_first_hop > 0 (the population of the F1 statistic).
+  std::size_t rewarded_nodes{0};
+  /// Nodes with income > 0.
+  std::size_t earning_nodes{0};
+};
+
+/// Computes the full report. `lorenz_points` caps curve resolution for
+/// plotting (0 = one point per node).
+[[nodiscard]] FairnessReport compute_fairness(const FairnessInputs& in,
+                                              std::size_t lorenz_points = 0);
+
+/// F2 alone: Gini of income over all nodes.
+[[nodiscard]] double gini_f2(std::span<const double> income);
+
+/// F1 alone: Gini of resource/reward ratios over nodes with reward > 0.
+/// `resources` and `rewards` must be the same length.
+[[nodiscard]] double gini_f1(std::span<const std::uint64_t> resources,
+                             std::span<const std::uint64_t> rewards);
+
+}  // namespace fairswap::core

@@ -1,0 +1,39 @@
+#include "core/multi_run.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+namespace fairswap::core {
+
+AggregateResult run_seeds(const ExperimentConfig& base,
+                          std::span<const std::uint64_t> seeds) {
+  AggregateResult agg;
+  agg.label = base.label;
+  for (const std::uint64_t seed : seeds) {
+    ExperimentConfig cfg = base;
+    cfg.seed = seed;
+    const ExperimentResult r = run_experiment(cfg);
+    agg.gini_f2.add(r.fairness.gini_f2);
+    agg.gini_f1.add(r.fairness.gini_f1);
+    agg.avg_forwarded.add(r.avg_forwarded_chunks);
+    agg.routing_success.add(r.routing_success);
+    agg.total_income.add(r.total_income);
+    ++agg.runs;
+  }
+  return agg;
+}
+
+AggregateResult run_seeds(const ExperimentConfig& base, std::size_t count) {
+  std::vector<std::uint64_t> seeds(count);
+  std::iota(seeds.begin(), seeds.end(), base.seed);
+  return run_seeds(base, seeds);
+}
+
+std::string mean_pm_std(const RunningStats& stats, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f ± %.*f", precision, stats.mean(),
+                precision, stats.stddev());
+  return buf;
+}
+
+}  // namespace fairswap::core

@@ -1,0 +1,43 @@
+// Multi-seed experiment aggregation.
+//
+// The paper runs each configuration once with a fixed seed and notes the
+// tool "allows us to collect data from runs on multiple machines into a
+// single simulation". Single-seed Gini deltas can be noise; this helper
+// runs a configuration across many seeds and reports mean and standard
+// deviation of every headline statistic, so the k=4 vs k=20 comparison
+// carries error bars.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+namespace fairswap::core {
+
+/// Aggregated statistics across seeds.
+struct AggregateResult {
+  std::string label;
+  std::size_t runs{0};
+  RunningStats gini_f2;
+  RunningStats gini_f1;
+  RunningStats avg_forwarded;
+  RunningStats routing_success;
+  RunningStats total_income;
+};
+
+/// Runs `base` once per seed (overriding base.seed) and aggregates.
+[[nodiscard]] AggregateResult run_seeds(const ExperimentConfig& base,
+                                        std::span<const std::uint64_t> seeds);
+
+/// Convenience: seeds {base.seed, base.seed+1, ..., base.seed+count-1}.
+[[nodiscard]] AggregateResult run_seeds(const ExperimentConfig& base,
+                                        std::size_t count);
+
+/// "mean ± stddev" rendering helper.
+[[nodiscard]] std::string mean_pm_std(const RunningStats& stats, int precision = 4);
+
+}  // namespace fairswap::core

@@ -1,0 +1,35 @@
+// Report helpers: turn ExperimentResults into the CSV series and text
+// blocks the benches print, and optionally persist them to disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/gini.hpp"
+#include "common/histogram.hpp"
+#include "core/experiment.hpp"
+
+namespace fairswap::core {
+
+/// CSV with one labeled Lorenz curve per result:
+/// "label,population_share,value_share".
+[[nodiscard]] std::string lorenz_csv(
+    const std::vector<const ExperimentResult*>& results, bool f1_curve);
+
+/// CSV of a per-node series: "label,node,value".
+[[nodiscard]] std::string per_node_csv(const std::string& label,
+                                       const std::vector<std::uint64_t>& values);
+
+/// Histogram over served-chunks per node (Fig. 4 panel series) with
+/// `bins` equal-width bins spanning all results so curves are comparable.
+[[nodiscard]] std::vector<Histogram> served_histograms(
+    const std::vector<const ExperimentResult*>& results, std::size_t bins);
+
+/// A one-paragraph text summary of a result (used by examples).
+[[nodiscard]] std::string summarize_result(const ExperimentResult& result);
+
+/// Writes `content` to `path`, creating parent directories; returns false
+/// (and logs) on failure. Benches write their CSVs next to the binary.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace fairswap::core

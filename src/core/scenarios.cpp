@@ -1,0 +1,39 @@
+#include "core/scenarios.hpp"
+
+#include <cmath>
+
+namespace fairswap::core {
+
+std::string scenario_label(std::size_t k, double originator_share) {
+  const auto pct = static_cast<int>(std::lround(originator_share * 100.0));
+  return "k=" + std::to_string(k) + ", " + std::to_string(pct) + "% originators";
+}
+
+ExperimentConfig paper_config(std::size_t k, double originator_share,
+                              std::size_t files, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.label = scenario_label(k, originator_share);
+  cfg.topology.node_count = 1000;
+  cfg.topology.address_bits = 16;
+  cfg.topology.buckets.k = k;
+  cfg.sim.workload.min_chunks_per_file = 100;
+  cfg.sim.workload.max_chunks_per_file = 1000;
+  cfg.sim.workload.originator_share = originator_share;
+  cfg.sim.pricer = "xor-distance";
+  cfg.sim.policy = "zero-proximity";
+  cfg.files = files;
+  cfg.seed = seed;
+  cfg.lorenz_points = 100;
+  return cfg;
+}
+
+std::vector<ExperimentConfig> paper_grid(std::size_t files, std::uint64_t seed) {
+  return {
+      paper_config(4, 0.2, files, seed),
+      paper_config(4, 1.0, files, seed),
+      paper_config(20, 0.2, files, seed),
+      paper_config(20, 1.0, files, seed),
+  };
+}
+
+}  // namespace fairswap::core

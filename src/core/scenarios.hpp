@@ -1,0 +1,26 @@
+// Canned experiment configurations reproducing the paper's evaluation
+// grid: 1000 nodes, 16-bit address space, 16 buckets, 10k file downloads,
+// k in {4, 20} x originator share in {20%, 100%}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace fairswap::core {
+
+/// One cell of the paper's grid.
+[[nodiscard]] ExperimentConfig paper_config(std::size_t k, double originator_share,
+                                            std::size_t files = 10'000,
+                                            std::uint64_t seed = kDefaultSeed);
+
+/// The full 2x2 grid, in the paper's reporting order:
+/// (k=4, 20%), (k=4, 100%), (k=20, 20%), (k=20, 100%).
+[[nodiscard]] std::vector<ExperimentConfig> paper_grid(
+    std::size_t files = 10'000, std::uint64_t seed = kDefaultSeed);
+
+/// "k=4, 20% originators" style label.
+[[nodiscard]] std::string scenario_label(std::size_t k, double originator_share);
+
+}  // namespace fairswap::core

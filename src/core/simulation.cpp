@@ -1,0 +1,178 @@
+#include "core/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace fairswap::core {
+
+Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config, Rng rng)
+    : Simulation(topo, config, incentives::make_policy(config.policy), rng) {}
+
+Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
+                       std::unique_ptr<incentives::PaymentPolicy> policy, Rng rng)
+    : topo_(&topo),
+      config_(std::move(config)),
+      swap_(topo.node_count(), config_.swap),
+      pricer_(accounting::make_pricer(config_.pricer)),
+      policy_(std::move(policy)),
+      counters_(topo.node_count()),
+      free_riders_(topo.node_count(), 0) {
+  if (!pricer_) throw std::invalid_argument("unknown pricer: " + config_.pricer);
+  if (!policy_) throw std::invalid_argument("unknown policy: " + config_.policy);
+
+  // Split the seed stream: workload and free-rider selection must not
+  // perturb each other when one is reconfigured.
+  Rng workload_rng = rng.split(1);
+  Rng free_rider_rng = rng.split(2);
+
+  generator_ = std::make_unique<workload::DownloadGenerator>(
+      topo, config_.workload, workload_rng);
+
+  stores_.reserve(topo.node_count());
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    stores_.emplace_back(config_.cache_capacity);
+  }
+
+  if (config_.free_rider_share > 0.0) {
+    const auto want = static_cast<std::size_t>(
+        config_.free_rider_share * static_cast<double>(topo.node_count()));
+    for (std::size_t idx :
+         free_rider_rng.sample_without_replacement(topo.node_count(), want)) {
+      free_riders_[idx] = 1;
+    }
+  }
+
+  ctx_.topo = topo_;
+  ctx_.swap = &swap_;
+  ctx_.pricer = pricer_.get();
+  ctx_.free_rider = &free_riders_;
+}
+
+bool Simulation::request_chunk(NodeIndex originator, Address chunk,
+                               bool is_upload) {
+  ++totals_.chunk_requests;
+  if (is_upload) ++totals_.upload_requests;
+  ++counters_[originator].chunks_requested;
+
+  const NodeIndex storer = topo_->closest_node(chunk);
+  const bool caching = config_.cache_capacity > 0;
+
+  // Greedy forwarding walk, short-circuited by caches when enabled.
+  overlay::Route route;
+  route.target = chunk;
+  route.path.push_back(originator);
+  NodeIndex cur = originator;
+  bool found = false;
+  bool from_cache = false;
+  const std::size_t max_hops = static_cast<std::size_t>(topo_->space().bits()) * 4;
+  for (;;) {
+    if (cur == storer) {
+      found = true;
+      break;
+    }
+    if (caching && stores_[cur].lookup(chunk)) {
+      found = true;
+      from_cache = true;
+      break;
+    }
+    if (route.hops() >= max_hops) {
+      route.truncated = true;
+      break;
+    }
+    const auto next = topo_->table(cur).next_hop(chunk);
+    if (!next) break;  // dead end short of the storer
+    cur = *topo_->index_of(*next);
+    route.path.push_back(cur);
+  }
+  route.reached_storer = found;
+
+  if (!found) {
+    ++totals_.failed_routes;
+    return false;
+  }
+
+  if (route.hops() == 0) {
+    // The originator itself stores (or cached) the chunk: no bandwidth is
+    // consumed and nobody is paid.
+    ++totals_.local_hits;
+    ++totals_.delivered;
+    ++counters_[originator].local_hits;
+    return true;
+  }
+
+  if (!policy_->admit(ctx_, route)) {
+    ++totals_.refused;
+    return false;
+  }
+
+  // The chunk travels back along the path: every node except the
+  // originator transmits it once.
+  for (std::size_t i = 1; i < route.path.size(); ++i) {
+    ++counters_[route.path[i]].chunks_served;
+    ++totals_.total_transmissions;
+  }
+  if (from_cache) ++counters_[route.terminal()].cache_serves;
+  ++counters_[route.first_hop()].chunks_served_first_hop;
+  ++totals_.delivered;
+
+  // Relay nodes opportunistically cache what they handled — on download
+  // the chunk flows back through them, on upload it flows forward.
+  if (caching) {
+    for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+      stores_[route.path[i]].cache(chunk);
+    }
+  }
+
+  policy_->on_delivery(ctx_, route);
+  return true;
+}
+
+void Simulation::apply(const workload::DownloadRequest& request) {
+  if (request.is_upload) ++totals_.upload_files;
+  for (const Address chunk : request.chunks) {
+    request_chunk(request.originator, chunk, request.is_upload);
+  }
+  policy_->on_step_end(ctx_);
+  if (config_.amortize_each_step) {
+    swap_.amortize_tick();
+  } else {
+    swap_.advance_tick();
+  }
+  ++totals_.files;
+}
+
+void Simulation::step() { apply(generator_->next()); }
+
+void Simulation::run(std::size_t files) {
+  for (std::size_t f = 0; f < files; ++f) step();
+  FAIRSWAP_LOG(kInfo, "core") << "simulated " << files << " files, "
+                              << totals_.chunk_requests << " chunk requests, "
+                              << totals_.total_transmissions << " transmissions";
+}
+
+std::vector<std::uint64_t> Simulation::served_per_node() const {
+  std::vector<std::uint64_t> out(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) out[i] = counters_[i].chunks_served;
+  return out;
+}
+
+std::vector<std::uint64_t> Simulation::first_hop_per_node() const {
+  std::vector<std::uint64_t> out(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out[i] = counters_[i].chunks_served_first_hop;
+  }
+  return out;
+}
+
+std::vector<double> Simulation::income_per_node() const {
+  const auto& income = swap_.income();
+  std::vector<double> out(income.size());
+  for (std::size_t i = 0; i < income.size(); ++i) {
+    out[i] = static_cast<double>(income[i].base_units());
+  }
+  return out;
+}
+
+}  // namespace fairswap::core

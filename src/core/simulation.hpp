@@ -1,0 +1,158 @@
+// The bandwidth-incentive simulator — the paper's primary contribution.
+//
+// One Simulation wires a static Topology to the SWAP ledger, a pricing
+// scheme, a payment policy and per-node chunk stores, and executes file
+// downloads: each step routes every chunk of one file via forwarding
+// Kademlia, counts who transmitted what, and lets the policy move money.
+// All per-node counters needed by the paper's Figs. 4-6 and Table I are
+// maintained incrementally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accounting/pricing.hpp"
+#include "accounting/swap.hpp"
+#include "common/rng.hpp"
+#include "incentives/policy.hpp"
+#include "overlay/topology.hpp"
+#include "storage/store.hpp"
+#include "workload/download_generator.hpp"
+
+namespace fairswap::core {
+
+using overlay::NodeIndex;
+
+/// Simulation parameters beyond the topology.
+struct SimulationConfig {
+  workload::WorkloadConfig workload{};
+  accounting::SwapConfig swap{};
+  /// Pricer name: "xor-distance" (default, paper), "proximity", "flat".
+  std::string pricer{"xor-distance"};
+  /// Policy name: "zero-proximity" (default, paper), "per-hop-swap",
+  /// "tit-for-tat", "effort-based".
+  std::string policy{"zero-proximity"};
+  /// Per-node LRU cache capacity in chunks; 0 = no caching (paper).
+  std::size_t cache_capacity{0};
+  /// Fraction of nodes that free-ride (never pay); 0 = everyone honest
+  /// (paper: "we assume that nodes are not free-riders").
+  double free_rider_share{0.0};
+  /// Apply one tick of time-based amortization after every file download.
+  bool amortize_each_step{false};
+};
+
+/// Per-node activity counters.
+struct NodeCounters {
+  /// Chunk transmissions: every time this node sent a chunk downstream,
+  /// whether as storer, cache hit, or relay — the "forwarded chunks" of
+  /// the paper's Fig. 4 / Table I.
+  std::uint64_t chunks_served{0};
+  /// Transmissions in the zero-proximity (first hop) role — the serves
+  /// the node is actually paid for (Fig. 6's denominator).
+  std::uint64_t chunks_served_first_hop{0};
+  /// Chunks this node requested as download originator.
+  std::uint64_t chunks_requested{0};
+  /// Requested chunks the node already held locally (it is the storer or
+  /// had it cached).
+  std::uint64_t local_hits{0};
+  /// Chunks this node served out of its LRU cache (subset of
+  /// chunks_served; 0 when caching is disabled).
+  std::uint64_t cache_serves{0};
+};
+
+/// Network-wide totals.
+struct SimulationTotals {
+  std::uint64_t files{0};
+  /// Files that were uploads (push-sync) rather than downloads.
+  std::uint64_t upload_files{0};
+  std::uint64_t chunk_requests{0};
+  /// Chunk requests belonging to uploads (subset of chunk_requests).
+  std::uint64_t upload_requests{0};
+  std::uint64_t delivered{0};
+  std::uint64_t refused{0};        ///< vetoed by the policy (choking/blocklist)
+  std::uint64_t failed_routes{0};  ///< greedy walk dead-ended off the storer
+  std::uint64_t local_hits{0};
+  /// Total chunk transmissions == sum over nodes of chunks_served — the
+  /// bandwidth overhead measure of the §V extension.
+  std::uint64_t total_transmissions{0};
+};
+
+/// A running simulation over a shared topology. The topology must outlive
+/// the simulation.
+class Simulation {
+ public:
+  /// Builds with the policy named in `config`.
+  Simulation(const overlay::Topology& topo, SimulationConfig config, Rng rng);
+
+  /// Builds with an injected policy instance (for custom baselines).
+  Simulation(const overlay::Topology& topo, SimulationConfig config,
+             std::unique_ptr<incentives::PaymentPolicy> policy, Rng rng);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Executes one step == one file download (paper §IV-A).
+  void step();
+
+  /// Executes `files` steps.
+  void run(std::size_t files);
+
+  /// Applies an externally supplied request (trace replay).
+  void apply(const workload::DownloadRequest& request);
+
+  [[nodiscard]] const overlay::Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<NodeCounters>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const SimulationTotals& totals() const noexcept { return totals_; }
+  [[nodiscard]] const accounting::SwapNetwork& swap() const noexcept { return swap_; }
+  [[nodiscard]] accounting::SwapNetwork& swap() noexcept { return swap_; }
+  [[nodiscard]] const incentives::PaymentPolicy& policy() const noexcept {
+    return *policy_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& free_riders() const noexcept {
+    return free_riders_;
+  }
+  [[nodiscard]] const workload::DownloadGenerator& generator() const noexcept {
+    return *generator_;
+  }
+  /// Mutable generator access for external drivers (the cadCAD adapter's
+  /// policy function draws requests itself).
+  [[nodiscard]] workload::DownloadGenerator& generator_mut() noexcept {
+    return *generator_;
+  }
+  [[nodiscard]] const std::vector<storage::ChunkStore>& stores() const noexcept {
+    return stores_;
+  }
+
+  /// Per-node chunks served, as a dense vector (Fig. 4 series).
+  [[nodiscard]] std::vector<std::uint64_t> served_per_node() const;
+  /// Per-node first-hop serves (Fig. 6 denominator).
+  [[nodiscard]] std::vector<std::uint64_t> first_hop_per_node() const;
+  /// Per-node income in token base units as doubles (Fig. 5 series).
+  [[nodiscard]] std::vector<double> income_per_node() const;
+
+ private:
+  /// Routes one chunk transfer (download or upload; both use the same
+  /// greedy route and accounting, with data flowing in opposite
+  /// directions) and applies accounting. Returns true if the chunk was
+  /// delivered.
+  bool request_chunk(NodeIndex originator, Address chunk, bool is_upload);
+
+  const overlay::Topology* topo_;
+  SimulationConfig config_;
+  accounting::SwapNetwork swap_;
+  std::unique_ptr<accounting::Pricer> pricer_;
+  std::unique_ptr<incentives::PaymentPolicy> policy_;
+  std::unique_ptr<workload::DownloadGenerator> generator_;
+  std::vector<storage::ChunkStore> stores_;
+  std::vector<NodeCounters> counters_;
+  std::vector<std::uint8_t> free_riders_;
+  SimulationTotals totals_;
+  incentives::PolicyContext ctx_;
+};
+
+}  // namespace fairswap::core

@@ -1,0 +1,62 @@
+// A discrete-event queue with a monotone clock and stable FIFO ordering
+// for simultaneous events. Drives the temporal extensions the step-based
+// engine cannot express: time-based amortization dynamics, churn, and
+// latency modelling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fairswap::engine {
+
+/// Simulated time in abstract ticks.
+using SimTime = std::uint64_t;
+
+/// A deterministic discrete-event executor. Events scheduled for the same
+/// time fire in scheduling order (stable via sequence numbers), which keeps
+/// runs reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  /// Schedules `cb` at absolute time `when`. Scheduling in the past fires
+  /// at the current time (immediately on the next run).
+  void schedule_at(SimTime when, Callback cb);
+
+  /// Schedules `cb` `delay` ticks after the current time.
+  void schedule_after(SimTime delay, Callback cb);
+
+  /// Pops and executes the earliest event; returns false when empty.
+  bool run_next();
+
+  /// Runs all events with time <= `until`; returns how many fired.
+  std::size_t run_until(SimTime until);
+
+  /// Runs until the queue is empty; returns how many fired.
+  std::size_t run_all();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_{0};
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace fairswap::engine

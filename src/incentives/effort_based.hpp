@@ -1,0 +1,41 @@
+// Effort-based rewards — the F2-targeted baseline.
+//
+// Rahman et al. (paper's ref [15]) "proposed to reward based on the
+// willingness to share resources rather than based on the amount of actual
+// resources shared, thus focusing on our fairness property F2 rather than
+// F1." We model this as a per-step reward pool distributed among nodes in
+// proportion to the bandwidth capacity they *offer*, independent of the
+// traffic they actually carried. With equal offered capacities this yields
+// a perfect F2 Gini of 0 by construction — and the ablation bench shows
+// what it does to F1.
+#pragma once
+
+#include <vector>
+
+#include "incentives/policy.hpp"
+
+namespace fairswap::incentives {
+
+class EffortBasedPolicy final : public PaymentPolicy {
+ public:
+  /// `offered_capacity[i]` is node i's advertised bandwidth (arbitrary
+  /// units); empty means every node offers 1. `pool_per_step` is the total
+  /// reward distributed after each file download.
+  EffortBasedPolicy(std::vector<double> offered_capacity, Token pool_per_step);
+
+  [[nodiscard]] std::string name() const override { return "effort-based"; }
+
+  /// Deliveries still accrue SWAP relay debt (the network must meter
+  /// usage) but trigger no payments.
+  void on_delivery(PolicyContext& ctx, const Route& route) override;
+
+  /// Distributes the per-step pool proportionally to offered capacity.
+  void on_step_end(PolicyContext& ctx) override;
+
+ private:
+  std::vector<double> capacity_;
+  double capacity_total_{0.0};
+  Token pool_per_step_;
+};
+
+}  // namespace fairswap::incentives

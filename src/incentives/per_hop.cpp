@@ -1,0 +1,32 @@
+#include "incentives/per_hop.hpp"
+
+namespace fairswap::incentives {
+
+bool PerHopSwapPolicy::admit(PolicyContext& ctx, const Route& route) {
+  // A pair refuses service when the consumer's debt is already at the
+  // disconnect threshold and the consumer cannot settle (free rider).
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    const NodeIndex consumer = route.path[i];
+    const NodeIndex provider = route.path[i + 1];
+    if (!ctx.is_free_rider(consumer)) continue;  // solvent peers always settle
+    const Token debt = ctx.swap->balance(provider, consumer);
+    const Token price = ctx.price(provider, route.target);
+    if (debt + price > ctx.swap->config().disconnect_threshold) return false;
+  }
+  return true;
+}
+
+void PerHopSwapPolicy::on_delivery(PolicyContext& ctx, const Route& route) {
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    const NodeIndex consumer = route.path[i];
+    const NodeIndex provider = route.path[i + 1];
+    const Token price = ctx.price(provider, route.target);
+    // Solvent peers run the normal SWAP machinery (accrue, settle at the
+    // payment threshold); free riders never settle, their debt just
+    // accrues until admit() starts refusing them.
+    (void)ctx.swap->debit(consumer, provider, price,
+                          /*can_settle=*/!ctx.is_free_rider(consumer));
+  }
+}
+
+}  // namespace fairswap::incentives

@@ -1,0 +1,24 @@
+// Full SWAP settlement: every relay pair on the route runs through the
+// SWAP threshold machinery — debt accrues hop-by-hop and converts into
+// income whenever a pair's balance crosses the payment threshold. This is
+// the "complete" SWAP behaviour the zero-proximity default approximates,
+// and the natural comparator for the §V discussion of per-hop payment
+// spreading.
+#pragma once
+
+#include "incentives/policy.hpp"
+
+namespace fairswap::incentives {
+
+class PerHopSwapPolicy final : public PaymentPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "per-hop-swap"; }
+
+  /// Refuses the delivery if any relay pair on the route is beyond its
+  /// disconnect threshold (the SWAP blocklist behaviour).
+  bool admit(PolicyContext& ctx, const Route& route) override;
+
+  void on_delivery(PolicyContext& ctx, const Route& route) override;
+};
+
+}  // namespace fairswap::incentives

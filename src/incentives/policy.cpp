@@ -1,0 +1,27 @@
+#include "incentives/policy.hpp"
+
+#include "incentives/effort_based.hpp"
+#include "incentives/per_hop.hpp"
+#include "incentives/tit_for_tat.hpp"
+#include "incentives/zero_proximity.hpp"
+
+namespace fairswap::incentives {
+
+bool PaymentPolicy::admit(PolicyContext& /*ctx*/, const Route& /*route*/) {
+  return true;
+}
+
+void PaymentPolicy::on_step_end(PolicyContext& /*ctx*/) {}
+
+std::unique_ptr<PaymentPolicy> make_policy(const std::string& name) {
+  if (name == "zero-proximity") return std::make_unique<ZeroProximityPolicy>();
+  if (name == "per-hop-swap") return std::make_unique<PerHopSwapPolicy>();
+  if (name == "tit-for-tat") return std::make_unique<TitForTatPolicy>();
+  if (name == "effort-based") {
+    return std::make_unique<EffortBasedPolicy>(std::vector<double>{},
+                                               Token::whole(1));
+  }
+  return nullptr;
+}
+
+}  // namespace fairswap::incentives

@@ -1,0 +1,73 @@
+// Payment policies: who pays whom, and how much, when a chunk is routed.
+//
+// The paper evaluates Swarm's default behaviour — only the zero-proximity
+// node is paid, everything else waits for time-based amortization — and
+// §II/§V motivate comparing against other reward schemes. The policy
+// interface decouples "a chunk moved along this route" from "money moved",
+// so the simulator can swap in the BitTorrent-style and effort-based
+// baselines without touching routing or accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accounting/pricing.hpp"
+#include "accounting/swap.hpp"
+#include "overlay/forwarding.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::incentives {
+
+using accounting::Pricer;
+using accounting::SwapNetwork;
+using overlay::NodeIndex;
+using overlay::Route;
+using overlay::Topology;
+
+/// Everything a policy may consult or mutate when reacting to a delivery.
+struct PolicyContext {
+  const Topology* topo{nullptr};
+  SwapNetwork* swap{nullptr};
+  const Pricer* pricer{nullptr};
+  /// Per-node flag: free riders consume service but never issue payments
+  /// (the §V misbehaviour extension). Empty = no free riders.
+  const std::vector<std::uint8_t>* free_rider{nullptr};
+
+  [[nodiscard]] bool is_free_rider(NodeIndex n) const noexcept {
+    return free_rider && !free_rider->empty() && (*free_rider)[n] != 0;
+  }
+
+  /// Price for `payee` delivering the chunk at `chunk`.
+  [[nodiscard]] Token price(NodeIndex payee, Address chunk) const {
+    return pricer->price(topo->space(), topo->address_of(payee), chunk);
+  }
+};
+
+/// Strategy interface invoked by core::Simulation.
+class PaymentPolicy {
+ public:
+  virtual ~PaymentPolicy() = default;
+
+  /// Identifier used in reports ("zero-proximity", "per-hop-swap", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called before the chunk is served. Returning false refuses the
+  /// delivery (the chunk does not move and on_delivery is not called) —
+  /// how tit-for-tat choking and SWAP disconnection manifest.
+  virtual bool admit(PolicyContext& ctx, const Route& route);
+
+  /// Called after a successful delivery along `route` (route.path.front()
+  /// is the originator; the last entry served the chunk).
+  virtual void on_delivery(PolicyContext& ctx, const Route& route) = 0;
+
+  /// Called once at the end of every simulation step (one file download).
+  virtual void on_step_end(PolicyContext& ctx);
+};
+
+/// Factory by name: "zero-proximity", "per-hop-swap", "tit-for-tat",
+/// "effort-based". Unknown names return nullptr.
+[[nodiscard]] std::unique_ptr<PaymentPolicy> make_policy(const std::string& name);
+
+}  // namespace fairswap::incentives

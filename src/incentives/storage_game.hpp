@@ -1,0 +1,107 @@
+// Storage incentives: a simplified Swarm redistribution game.
+//
+// The paper's §V closes with: "While creators of these networks claim
+// that the storage incentive makes up the majority of the profit for
+// peers contributing to the network, having not just the bandwidth
+// incentives simulated but also the storage incentives appears needed to
+// complete the simulation." This module supplies that missing layer,
+// modelled on Swarm's redistribution lottery:
+//
+//  * Nodes stake tokens to participate.
+//  * Each round, a uniformly random *anchor* address selects the
+//    neighborhood of nodes whose overlay address shares at least
+//    `depth` prefix bits with the anchor.
+//  * One staked neighborhood member is drawn stake-weighted; before it
+//    can claim the round pot it must present a valid BMT inclusion proof
+//    for a sampled segment of a sampled chunk it is responsible for
+//    (proof of custody). Nodes that do not actually store their
+//    neighborhood's data fail the proof, forfeit the round (the pot
+//    rolls over) and are slashed.
+//
+// The same Gini metrology then applies to storage rewards: with uniform
+// node addresses, neighborhood sizes are skewed, so storage income
+// concentrates — another face of the paper's F2 question.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/token.hpp"
+#include "overlay/topology.hpp"
+#include "storage/bmt_proof.hpp"
+
+namespace fairswap::incentives {
+
+using overlay::NodeIndex;
+
+/// Game parameters.
+struct StorageGameConfig {
+  /// Neighborhood selector: nodes sharing >= depth prefix bits with the
+  /// round anchor play. Swarm calls this the storage depth.
+  int depth{4};
+  /// Pot distributed per round (expired postage revenue).
+  Token round_pot{Token::whole(1)};
+  /// Stake a node loses when it wins the draw but fails the custody proof.
+  Token slash_amount{Token(500'000'000)};
+};
+
+/// Outcome of one round.
+struct RoundResult {
+  Address anchor{};
+  std::vector<NodeIndex> players;          ///< staked neighborhood members
+  std::optional<NodeIndex> drawn;          ///< stake-weighted draw winner
+  bool proof_valid{false};                 ///< custody proof verified?
+  std::optional<NodeIndex> paid;           ///< who actually received the pot
+  Token pot;                               ///< amount at stake this round
+};
+
+/// The redistribution game over a static topology.
+class StorageGame {
+ public:
+  StorageGame(const overlay::Topology& topo, StorageGameConfig config);
+
+  /// Stakes `amount` for node n (replaces any previous stake).
+  void set_stake(NodeIndex n, Token amount);
+
+  /// Marks whether node n faithfully stores its neighborhood's chunks.
+  /// Unfaithful nodes fail custody proofs when drawn.
+  void set_faithful(NodeIndex n, bool faithful);
+
+  [[nodiscard]] Token stake(NodeIndex n) const { return stakes_[n]; }
+
+  /// Plays one round with randomness from `rng`. The pot accumulates
+  /// across failed rounds and pays out fully on the next honest win.
+  RoundResult play_round(Rng& rng);
+
+  /// Plays `rounds` rounds; returns how many paid out.
+  std::size_t play(std::size_t rounds, Rng& rng);
+
+  /// Cumulative storage rewards per node.
+  [[nodiscard]] const std::vector<Token>& rewards() const noexcept { return rewards_; }
+  /// Rewards as doubles (for the Gini helpers).
+  [[nodiscard]] std::vector<double> rewards_double() const;
+
+  [[nodiscard]] std::uint64_t rounds_played() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t rounds_paid() const noexcept { return paid_rounds_; }
+  [[nodiscard]] std::uint64_t proofs_failed() const noexcept { return proofs_failed_; }
+  [[nodiscard]] Token carried_pot() const noexcept { return carried_; }
+  [[nodiscard]] const StorageGameConfig& config() const noexcept { return config_; }
+
+  /// The neighborhood a given anchor selects (all nodes, staked or not).
+  [[nodiscard]] std::vector<NodeIndex> neighborhood(Address anchor) const;
+
+ private:
+  const overlay::Topology* topo_;
+  StorageGameConfig config_;
+  std::vector<Token> stakes_;
+  std::vector<Token> rewards_;
+  std::vector<std::uint8_t> faithful_;
+  Token carried_;
+  std::uint64_t rounds_{0};
+  std::uint64_t paid_rounds_{0};
+  std::uint64_t proofs_failed_{0};
+};
+
+}  // namespace fairswap::incentives

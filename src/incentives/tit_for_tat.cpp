@@ -1,0 +1,36 @@
+#include "incentives/tit_for_tat.hpp"
+
+namespace fairswap::incentives {
+
+std::int64_t TitForTatPolicy::deficit(NodeIndex a, NodeIndex b) const {
+  const NodeIndex lo = a < b ? a : b;
+  const NodeIndex hi = a < b ? b : a;
+  const auto it = balance_.find(key(lo, hi));
+  if (it == balance_.end()) return 0;
+  return a == lo ? it->second : -it->second;
+}
+
+bool TitForTatPolicy::admit(PolicyContext& /*ctx*/, const Route& route) {
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    const NodeIndex consumer = route.path[i];
+    const NodeIndex provider = route.path[i + 1];
+    if (deficit(consumer, provider) + 1 > allowance_) {
+      ++choked_;
+      return false;
+    }
+  }
+  return true;
+}
+
+void TitForTatPolicy::on_delivery(PolicyContext& /*ctx*/, const Route& route) {
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    const NodeIndex consumer = route.path[i];
+    const NodeIndex provider = route.path[i + 1];
+    const NodeIndex lo = consumer < provider ? consumer : provider;
+    const NodeIndex hi = consumer < provider ? provider : consumer;
+    // One chunk of service flowed provider -> consumer.
+    balance_[key(lo, hi)] += (consumer == lo) ? 1 : -1;
+  }
+}
+
+}  // namespace fairswap::incentives

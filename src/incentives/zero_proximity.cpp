@@ -1,0 +1,30 @@
+#include "incentives/zero_proximity.hpp"
+
+namespace fairswap::incentives {
+
+void ZeroProximityPolicy::on_delivery(PolicyContext& ctx, const Route& route) {
+  if (route.hops() == 0) return;  // originator already stores the chunk
+
+  const NodeIndex originator = route.originator();
+  const NodeIndex first = route.first_hop();
+  const Token first_price = ctx.price(first, route.target);
+
+  if (ctx.is_free_rider(originator)) {
+    // A free-riding originator withholds the paid settlement; the debt is
+    // merely recorded and will amortize away.
+    (void)ctx.swap->debit(originator, first, first_price, /*can_settle=*/false);
+  } else {
+    ctx.swap->pay_direct(originator, first, first_price);
+  }
+
+  // Downstream relays accrue SWAP debt only ("wait for time-based
+  // amortization for other requests"): hop i consumed from hop i+1.
+  for (std::size_t i = 1; i + 1 < route.path.size(); ++i) {
+    const NodeIndex consumer = route.path[i];
+    const NodeIndex provider = route.path[i + 1];
+    (void)ctx.swap->debit(consumer, provider, ctx.price(provider, route.target),
+                          /*can_settle=*/false);
+  }
+}
+
+}  // namespace fairswap::incentives

@@ -1,0 +1,47 @@
+// Message vocabulary of the retrieval protocol.
+//
+// The step-based simulator (core::Simulation) computes whole routes
+// atomically; this module replays the same protocol at message
+// granularity on a simulated clock, which is what lets us measure
+// retrieval latency and interleave concurrent downloads (and is the shape
+// a real Swarm node's wire protocol has: retrieve request upstream, chunk
+// delivery downstream, Fig. 1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/address.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::net {
+
+using overlay::NodeIndex;
+
+/// Wire message kinds.
+enum class MessageType : std::uint8_t {
+  kRetrieveRequest,  ///< "send me the chunk at this address"
+  kChunkDelivery,    ///< the chunk flowing back along the request path
+  kRetrieveFail,     ///< no route / chunk unavailable, propagated back
+};
+
+/// One in-flight message. `request_id` correlates the request with its
+/// delivery across hops; nodes never see the originator's identity, only
+/// the previous hop (forwarding Kademlia's privacy property).
+struct Message {
+  MessageType type{MessageType::kRetrieveRequest};
+  NodeIndex from{0};
+  NodeIndex to{0};
+  Address chunk{};
+  std::uint64_t request_id{0};
+};
+
+[[nodiscard]] constexpr const char* message_type_name(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kRetrieveRequest: return "retrieve";
+    case MessageType::kChunkDelivery: return "deliver";
+    case MessageType::kRetrieveFail: return "fail";
+  }
+  return "?";
+}
+
+}  // namespace fairswap::net

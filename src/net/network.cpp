@@ -1,0 +1,147 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace fairswap::net {
+
+Network::Network(const overlay::Topology& topo, NetworkConfig config)
+    : topo_(&topo), config_(config), latency_(config.latency),
+      traffic_(topo.node_count()) {}
+
+std::uint64_t Network::retrieve(NodeIndex origin, Address chunk,
+                                Callback on_done) {
+  const std::uint64_t id = next_request_id_++;
+  requests_[id] = RequestState{origin, chunk, queue_.now(), std::move(on_done),
+                               {origin}};
+
+  // The originator "sends itself" the request with zero latency: if it is
+  // the storer the retrieval completes locally.
+  queue_.schedule_after(0, [this, id, origin, chunk](engine::SimTime) {
+    handle(Message{MessageType::kRetrieveRequest, origin, origin, chunk, id});
+  });
+  return id;
+}
+
+std::size_t Network::run() { return queue_.run_all(); }
+
+std::size_t Network::run_until(engine::SimTime until) {
+  return queue_.run_until(until);
+}
+
+void Network::send(Message msg) {
+  ++messages_;
+  const engine::SimTime delay =
+      msg.from == msg.to ? 0 : latency_.latency(msg.from, msg.to);
+  queue_.schedule_after(delay, [this, msg](engine::SimTime) { handle(msg); });
+}
+
+void Network::handle(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kRetrieveRequest: handle_request(msg); break;
+    case MessageType::kChunkDelivery: handle_delivery(msg); break;
+    case MessageType::kRetrieveFail: handle_fail(msg); break;
+  }
+}
+
+void Network::handle_request(const Message& msg) {
+  const NodeIndex self = msg.to;
+  ++traffic_[self].requests_received;
+
+  auto req_it = requests_.find(msg.request_id);
+  const bool is_origin_hop = (msg.from == msg.to);
+  if (req_it != requests_.end() && !is_origin_hop) {
+    req_it->second.path.push_back(self);
+  }
+
+  // Am I the storer? (Paper rule: the globally closest node stores.)
+  if (topo_->closest_node(msg.chunk) == self) {
+    ++traffic_[self].serves;
+    if (req_it != requests_.end() && req_it->second.originator == self &&
+        is_origin_hop) {
+      // Local hit at the originator: complete immediately.
+      complete(msg.request_id, true);
+      return;
+    }
+    ++traffic_[self].chunks_sent;
+    send(Message{MessageType::kChunkDelivery, self, msg.from, msg.chunk,
+                 msg.request_id});
+    return;
+  }
+
+  // Forward to the closest strictly-closer peer.
+  const auto next = topo_->table(self).next_hop(msg.chunk);
+  if (!next) {
+    // Dead end: propagate failure toward the requester.
+    if (is_origin_hop) {
+      complete(msg.request_id, false);
+    } else {
+      send(Message{MessageType::kRetrieveFail, self, msg.from, msg.chunk,
+                   msg.request_id});
+    }
+    return;
+  }
+
+  const NodeIndex next_idx = *topo_->index_of(*next);
+  if (!is_origin_hop) {
+    // Remember who asked, to route the chunk back. A node can appear at
+    // most once per request (greedy routes are simple paths).
+    pending_[msg.request_id][self] = msg.from;
+    ++traffic_[self].requests_forwarded;
+  }
+  send(Message{MessageType::kRetrieveRequest, self, next_idx, msg.chunk,
+               msg.request_id});
+}
+
+void Network::handle_delivery(const Message& msg) {
+  const NodeIndex self = msg.to;
+  auto req_it = requests_.find(msg.request_id);
+  if (req_it != requests_.end() && req_it->second.originator == self) {
+    complete(msg.request_id, true);
+    return;
+  }
+  // Relay downstream.
+  auto pend_it = pending_.find(msg.request_id);
+  if (pend_it == pending_.end()) return;  // stale/duplicate
+  const auto hop_it = pend_it->second.find(self);
+  if (hop_it == pend_it->second.end()) return;
+  const NodeIndex downstream = hop_it->second;
+  pend_it->second.erase(hop_it);
+  ++traffic_[self].chunks_sent;
+  send(Message{MessageType::kChunkDelivery, self, downstream, msg.chunk,
+               msg.request_id});
+}
+
+void Network::handle_fail(const Message& msg) {
+  const NodeIndex self = msg.to;
+  auto req_it = requests_.find(msg.request_id);
+  if (req_it != requests_.end() && req_it->second.originator == self) {
+    complete(msg.request_id, false);
+    return;
+  }
+  auto pend_it = pending_.find(msg.request_id);
+  if (pend_it == pending_.end()) return;
+  const auto hop_it = pend_it->second.find(self);
+  if (hop_it == pend_it->second.end()) return;
+  const NodeIndex downstream = hop_it->second;
+  pend_it->second.erase(hop_it);
+  send(Message{MessageType::kRetrieveFail, self, downstream, msg.chunk,
+               msg.request_id});
+}
+
+void Network::complete(std::uint64_t request_id, bool success) {
+  const auto it = requests_.find(request_id);
+  assert(it != requests_.end());
+  RetrievalResult result;
+  result.success = success;
+  result.request_id = request_id;
+  result.chunk = it->second.chunk;
+  result.originator = it->second.originator;
+  result.path = std::move(it->second.path);
+  result.latency = queue_.now() - it->second.issued_at;
+  Callback cb = std::move(it->second.on_done);
+  requests_.erase(it);
+  pending_.erase(request_id);
+  if (cb) cb(result);
+}
+
+}  // namespace fairswap::net

@@ -1,0 +1,156 @@
+#include "overlay/churn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fairswap::overlay {
+
+DynamicOverlay::DynamicOverlay(Topology topo)
+    : topo_(std::move(topo)), alive_(topo_.node_count(), 1),
+      alive_count_(topo_.node_count()) {
+  tables_.reserve(topo_.node_count());
+  for (NodeIndex n = 0; n < topo_.node_count(); ++n) {
+    tables_.push_back(topo_.table(n));
+  }
+}
+
+void DynamicOverlay::fail(NodeIndex n) {
+  if (!alive_[n]) return;
+  alive_[n] = 0;
+  --alive_count_;
+  ++stats_.failures;
+  invalidate_index();
+}
+
+void DynamicOverlay::revive(NodeIndex n) {
+  if (alive_[n]) return;
+  alive_[n] = 1;
+  ++alive_count_;
+  ++stats_.revivals;
+  invalidate_index();
+}
+
+void DynamicOverlay::fail_random(std::size_t count, Rng& rng) {
+  std::vector<NodeIndex> candidates;
+  for (NodeIndex n = 0; n < node_count(); ++n) {
+    if (alive_[n]) candidates.push_back(n);
+  }
+  if (candidates.empty()) return;
+  const std::size_t take = std::min(count, candidates.size() - 1);
+  for (const std::size_t idx :
+       rng.sample_without_replacement(candidates.size(), take)) {
+    fail(candidates[idx]);
+  }
+}
+
+void DynamicOverlay::rebuild_index() const {
+  std::vector<Address> alive_addresses;
+  alive_addresses.reserve(alive_count_);
+  for (NodeIndex n = 0; n < node_count(); ++n) {
+    if (alive_[n]) alive_addresses.push_back(topo_.address_of(n));
+  }
+  alive_index_.emplace(topo_.space(), std::span<const Address>(alive_addresses));
+  index_dirty_ = false;
+}
+
+NodeIndex DynamicOverlay::closest_alive(Address target) const {
+  assert(alive_count_ > 0);
+  if (index_dirty_) rebuild_index();
+  return *topo_.index_of(alive_index_->closest(target));
+}
+
+Route DynamicOverlay::route(NodeIndex origin, Address target) const {
+  Route r;
+  r.target = target;
+  r.path.push_back(origin);
+  if (!alive_[origin]) return r;  // dead originators issue nothing
+
+  const NodeIndex storer = closest_alive(target);
+  const std::size_t max_hops = static_cast<std::size_t>(topo_.space().bits()) * 4;
+  NodeIndex cur = origin;
+  while (cur != storer) {
+    if (r.hops() >= max_hops) {
+      r.truncated = true;
+      break;
+    }
+    // Closest alive, strictly closer table peer. The pruned next_hop
+    // cannot be used directly (it might return a dead peer), so scan the
+    // table and skip the dead — counting each encounter.
+    const auto& table = tables_[cur];
+    std::optional<NodeIndex> best;
+    AddressValue best_dist = xor_distance(topo_.address_of(cur), target);
+    for (const Address peer : table.all_peers()) {
+      const NodeIndex idx = *topo_.index_of(peer);
+      const AddressValue d = xor_distance(peer, target);
+      if (d >= best_dist) continue;
+      if (!alive_[idx]) {
+        ++stats_.dead_peer_encounters;
+        continue;
+      }
+      best = idx;
+      best_dist = d;
+    }
+    if (!best) break;
+    cur = *best;
+    r.path.push_back(cur);
+  }
+  r.reached_storer = (cur == storer);
+  return r;
+}
+
+std::size_t DynamicOverlay::repair(NodeIndex n, Rng& rng) {
+  if (!alive_[n]) return 0;
+  const Address self = topo_.address_of(n);
+  const auto& space = topo_.space();
+  const auto& policy = tables_[n].policy();
+
+  // Group alive candidates by bucket.
+  std::vector<std::vector<Address>> candidates(
+      static_cast<std::size_t>(space.bits()));
+  for (NodeIndex j = 0; j < node_count(); ++j) {
+    if (j == n || !alive_[j]) continue;
+    const Address a = topo_.address_of(j);
+    candidates[static_cast<std::size_t>(space.bucket_index(self, a))].push_back(a);
+  }
+
+  // Rebuild the table: keep alive entries, then fill gaps randomly.
+  RoutingTable fresh(space, self, policy);
+  std::size_t repaired = 0;
+  for (int b = 0; b < space.bits(); ++b) {
+    for (const Address peer : tables_[n].bucket(b)) {
+      if (alive_[*topo_.index_of(peer)]) fresh.try_add(peer);
+    }
+  }
+  for (int b = 0; b < space.bits(); ++b) {
+    auto& pool = candidates[static_cast<std::size_t>(b)];
+    if (fresh.bucket_size(b) >= policy.capacity(b) || pool.empty()) continue;
+    rng.shuffle(std::span<Address>(pool));
+    for (const Address peer : pool) {
+      if (fresh.bucket_size(b) >= policy.capacity(b)) break;
+      if (fresh.try_add(peer)) ++repaired;
+    }
+  }
+  tables_[n] = std::move(fresh);
+  stats_.repairs += repaired;
+  return repaired;
+}
+
+std::size_t DynamicOverlay::repair_all(Rng& rng) {
+  std::size_t total = 0;
+  for (NodeIndex n = 0; n < node_count(); ++n) {
+    total += repair(n, rng);
+  }
+  return total;
+}
+
+double DynamicOverlay::staleness(NodeIndex n) const {
+  const auto peers = tables_[n].all_peers();
+  if (peers.empty()) return 0.0;
+  std::size_t dead = 0;
+  for (const Address peer : peers) {
+    if (!alive_[*topo_.index_of(peer)]) ++dead;
+  }
+  return static_cast<double>(dead) / static_cast<double>(peers.size());
+}
+
+}  // namespace fairswap::overlay

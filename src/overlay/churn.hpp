@@ -1,0 +1,87 @@
+// Churn: node departures, arrivals, and table repair.
+//
+// The paper's experiments keep tables static, but its introduction names
+// "coping with the network churn" as one of the standing challenges of
+// p2p storage, and §V's misbehaviour thread asks how fairness behaves
+// when the network deviates from the ideal. DynamicOverlay wraps a
+// Topology with liveness state: dead peers linger in routing tables until
+// their entry is used (lazy discovery, as in real networks), repair
+// refills buckets from live candidates, and the closest-alive index keeps
+// chunk responsibility well defined as membership changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/forwarding.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::overlay {
+
+/// Churn statistics.
+struct ChurnStats {
+  std::uint64_t failures{0};
+  std::uint64_t revivals{0};
+  std::uint64_t dead_peer_encounters{0};  ///< routing stepped over a dead peer
+  std::uint64_t repairs{0};               ///< table slots refilled
+};
+
+/// A topology plus liveness. Routing skips dead peers (at the cost of
+/// potentially longer or failing routes); the storer of a chunk is the
+/// closest *alive* node.
+class DynamicOverlay {
+ public:
+  explicit DynamicOverlay(Topology topo);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return topo_.node_count(); }
+  [[nodiscard]] bool alive(NodeIndex n) const noexcept { return alive_[n] != 0; }
+  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
+  [[nodiscard]] const ChurnStats& stats() const noexcept { return stats_; }
+
+  /// Marks a node failed. Its table entries elsewhere remain until
+  /// repaired (lazy discovery). No-op if already dead.
+  void fail(NodeIndex n);
+
+  /// Brings a failed node back with its original address and table.
+  void revive(NodeIndex n);
+
+  /// Fails `count` random alive nodes (never all of them).
+  void fail_random(std::size_t count, Rng& rng);
+
+  /// The alive node closest to `target` (XOR). Rebuilt lazily after
+  /// membership changes.
+  [[nodiscard]] NodeIndex closest_alive(Address target) const;
+
+  /// Greedy forwarding that skips dead peers: each hop picks the closest
+  /// *alive, strictly closer* table peer. Returns the route; fails when a
+  /// node has no alive closer peer or the hop limit is hit.
+  [[nodiscard]] Route route(NodeIndex origin, Address target) const;
+
+  /// Refills node n's buckets with alive candidates replacing dead
+  /// entries (models Swarm's hive/table-maintenance protocol). Returns
+  /// slots repaired.
+  std::size_t repair(NodeIndex n, Rng& rng);
+
+  /// Repairs every alive node's table.
+  std::size_t repair_all(Rng& rng);
+
+  /// Fraction of table entries of `n` that point at dead peers.
+  [[nodiscard]] double staleness(NodeIndex n) const;
+
+ private:
+  void invalidate_index() noexcept { index_dirty_ = true; }
+  void rebuild_index() const;
+
+  Topology topo_;
+  std::vector<RoutingTable> tables_;  ///< mutable copies (repair rewrites)
+  std::vector<std::uint8_t> alive_;
+  std::size_t alive_count_;
+  mutable ChurnStats stats_;
+  mutable std::optional<ClosestNodeIndex> alive_index_;
+  mutable bool index_dirty_{true};
+};
+
+}  // namespace fairswap::overlay

@@ -1,0 +1,32 @@
+#include "overlay/forwarding.hpp"
+
+namespace fairswap::overlay {
+
+ForwardingRouter::ForwardingRouter(const Topology& topo, std::size_t max_hops) noexcept
+    : topo_(&topo),
+      max_hops_(max_hops == 0
+                    ? static_cast<std::size_t>(topo.space().bits()) * 4
+                    : max_hops) {}
+
+Route ForwardingRouter::route(NodeIndex origin, Address target) const {
+  Route r;
+  r.target = target;
+  r.path.push_back(origin);
+
+  const NodeIndex storer = topo_->closest_node(target);
+  NodeIndex cur = origin;
+  while (cur != storer) {
+    if (r.hops() >= max_hops_) {
+      r.truncated = true;
+      break;
+    }
+    const auto next = topo_->table(cur).next_hop(target);
+    if (!next) break;  // local minimum: no strictly closer peer known
+    cur = *topo_->index_of(*next);
+    r.path.push_back(cur);
+  }
+  r.reached_storer = (cur == storer);
+  return r;
+}
+
+}  // namespace fairswap::overlay

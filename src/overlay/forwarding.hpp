@@ -1,0 +1,68 @@
+// Forwarding Kademlia — Swarm's routing scheme (paper §III-A, Fig. 1).
+//
+// The originator forwards a request to the peer in its table closest to the
+// chunk address; every relay repeats the step. The chunk then flows back
+// along the same path. No relay learns who originated the request, which is
+// the privacy property distinguishing forwarding Kademlia from the classic
+// iterative lookup (see iterative.hpp for the contrast).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/address.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::overlay {
+
+/// The trace of one routed chunk request.
+struct Route {
+  /// Nodes on the path, originator first. The last entry is the node where
+  /// greedy forwarding terminated (no strictly-closer peer known).
+  std::vector<NodeIndex> path;
+  /// Address the route was aiming for.
+  Address target{};
+  /// True if the terminal node is the globally closest node to `target`,
+  /// i.e. the node that stores the chunk under the paper's placement rule.
+  bool reached_storer{false};
+  /// True if the walk was cut off by the hop limit (pathological tables).
+  bool truncated{false};
+
+  /// Number of edges traversed (path.size() - 1; 0 when the originator
+  /// already stores the chunk).
+  [[nodiscard]] std::size_t hops() const noexcept {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+
+  [[nodiscard]] NodeIndex originator() const noexcept { return path.front(); }
+  [[nodiscard]] NodeIndex terminal() const noexcept { return path.back(); }
+
+  /// The zero-proximity node: the first hop, i.e. the peer in the
+  /// originator's routing table closest to the target. This is the only
+  /// node the originator pays under Swarm's default settlement behaviour
+  /// (paper §III-B). Returns originator() when hops() == 0.
+  [[nodiscard]] NodeIndex first_hop() const noexcept {
+    return path.size() > 1 ? path[1] : path.front();
+  }
+};
+
+/// Stateless greedy router over a Topology.
+class ForwardingRouter {
+ public:
+  /// `max_hops` bounds route length; 4x the address bits is far beyond any
+  /// reachable route (each hop increases the shared prefix), so hitting it
+  /// indicates a broken table and is flagged via Route::truncated.
+  explicit ForwardingRouter(const Topology& topo, std::size_t max_hops = 0) noexcept;
+
+  /// Routes from `origin` toward `target`, stopping at the storer (global
+  /// closest node) or at a local minimum of the greedy walk.
+  [[nodiscard]] Route route(NodeIndex origin, Address target) const;
+
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
+
+ private:
+  const Topology* topo_;
+  std::size_t max_hops_;
+};
+
+}  // namespace fairswap::overlay

@@ -1,0 +1,75 @@
+#include "overlay/iterative.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fairswap::overlay {
+
+IterativeLookup::IterativeLookup(const Topology& topo, IterativeConfig config) noexcept
+    : topo_(&topo), config_(config) {}
+
+LookupResult IterativeLookup::lookup(NodeIndex requester, Address target) const {
+  LookupResult result;
+  const NodeIndex storer = topo_->closest_node(target);
+
+  auto dist = [&](NodeIndex n) {
+    return xor_distance(topo_->address_of(n), target);
+  };
+  auto closer = [&](NodeIndex a, NodeIndex b) {
+    const auto da = dist(a);
+    const auto db = dist(b);
+    return da != db ? da < db : a < b;
+  };
+
+  // Shortlist seeded from the requester's own table.
+  std::vector<NodeIndex> shortlist;
+  for (const Address a : topo_->table(requester).closest_peers(target, config_.shortlist)) {
+    shortlist.push_back(*topo_->index_of(a));
+  }
+  std::sort(shortlist.begin(), shortlist.end(), closer);
+
+  std::unordered_set<NodeIndex> queried;
+  std::unordered_set<NodeIndex> known(shortlist.begin(), shortlist.end());
+  known.insert(requester);
+
+  bool progressed = true;
+  while (progressed && result.rounds < config_.max_rounds) {
+    progressed = false;
+    ++result.rounds;
+
+    // Query up to α closest unqueried nodes from the shortlist.
+    std::vector<NodeIndex> batch;
+    for (NodeIndex n : shortlist) {
+      if (batch.size() >= config_.alpha) break;
+      if (!queried.count(n)) batch.push_back(n);
+    }
+    if (batch.empty()) break;
+
+    for (NodeIndex n : batch) {
+      queried.insert(n);
+      result.contacted.push_back(n);
+      ++result.messages;
+      for (const Address a :
+           topo_->table(n).closest_peers(target, config_.shortlist)) {
+        const NodeIndex peer = *topo_->index_of(a);
+        if (known.insert(peer).second) {
+          shortlist.push_back(peer);
+          progressed = true;
+        }
+      }
+    }
+    std::sort(shortlist.begin(), shortlist.end(), closer);
+    if (shortlist.size() > config_.shortlist) shortlist.resize(config_.shortlist);
+  }
+
+  // The best node seen, including the requester itself.
+  NodeIndex best = requester;
+  for (NodeIndex n : shortlist) {
+    if (closer(n, best)) best = n;
+  }
+  result.closest = best;
+  result.found_storer = (best == storer);
+  return result;
+}
+
+}  // namespace fairswap::overlay

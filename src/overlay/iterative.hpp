@@ -1,0 +1,59 @@
+// Classic (iterative) Kademlia lookup — the baseline routing scheme the
+// paper contrasts with forwarding Kademlia (§III-A).
+//
+// In the original Kademlia, the *requester* drives the lookup: it keeps a
+// shortlist of the closest known peers, queries up to α of them in
+// parallel, merges the peers they return, and repeats until no closer peer
+// appears. Every queried node therefore learns the requester's identity —
+// the privacy leak forwarding Kademlia avoids. We simulate the lookup over
+// static routing tables and report which nodes learned the requester.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/address.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::overlay {
+
+/// Result of one iterative lookup.
+struct LookupResult {
+  /// Closest node found (by XOR) among all peers discovered.
+  NodeIndex closest{0};
+  /// True if `closest` is the globally closest node to the target.
+  bool found_storer{false};
+  /// Nodes the requester contacted directly — all of them learn the
+  /// requester's identity.
+  std::vector<NodeIndex> contacted;
+  /// Number of query rounds until convergence.
+  std::size_t rounds{0};
+  /// Total RPCs issued (== contacted.size(); kept separate for clarity).
+  std::size_t messages{0};
+};
+
+/// Iterative lookup parameters: α is the per-round parallelism (Kademlia
+/// default 3), k the shortlist width (Kademlia default 20).
+struct IterativeConfig {
+  std::size_t alpha{3};
+  std::size_t shortlist{20};
+  std::size_t max_rounds{64};
+};
+
+/// Simulates iterative lookups over a static topology. Queried nodes
+/// answer from their routing tables (closest_peers).
+class IterativeLookup {
+ public:
+  explicit IterativeLookup(const Topology& topo,
+                           IterativeConfig config = {}) noexcept;
+
+  [[nodiscard]] LookupResult lookup(NodeIndex requester, Address target) const;
+
+  [[nodiscard]] const IterativeConfig& config() const noexcept { return config_; }
+
+ private:
+  const Topology* topo_;
+  IterativeConfig config_;
+};
+
+}  // namespace fairswap::overlay

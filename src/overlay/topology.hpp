@@ -1,0 +1,101 @@
+// Network topology: node address assignment plus one static routing table
+// per node, built deterministically from a seed.
+//
+// The paper builds a 1000-node network on a 16-bit address space, populates
+// every bucket with up to k uniformly chosen candidates, and keeps the
+// tables static for the entire experiment. The same topology object can be
+// shared by many simulations ("Our tool allows to use the same overlay for
+// multiple simulations").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/address.hpp"
+#include "common/rng.hpp"
+#include "overlay/routing_table.hpp"
+
+namespace fairswap::overlay {
+
+/// Dense node index in [0, node_count). All per-node experiment counters
+/// are vectors indexed by NodeIndex.
+using NodeIndex = std::uint32_t;
+
+/// Answers "which node is XOR-closest to this address?" in O(bits) via a
+/// binary trie over the node addresses. Because addresses are unique, the
+/// closest node is unique (d(a,t) == d(b,t) implies a == b), which is what
+/// makes the paper's "only the closest node stores a chunk" well defined.
+class ClosestNodeIndex {
+ public:
+  ClosestNodeIndex(const AddressSpace& space, std::span<const Address> nodes);
+
+  /// The node address closest to `target` (target may equal a node).
+  [[nodiscard]] Address closest(Address target) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return leaf_count_; }
+
+ private:
+  struct TrieNode {
+    std::int32_t child[2]{-1, -1};
+    std::int32_t leaf{-1};
+  };
+
+  void insert(Address a);
+
+  AddressSpace space_;
+  std::vector<TrieNode> nodes_;
+  std::vector<Address> leaves_;
+  std::size_t leaf_count_{0};
+};
+
+/// Topology construction parameters (paper defaults).
+struct TopologyConfig {
+  std::size_t node_count{1000};
+  int address_bits{16};
+  BucketPolicy buckets{};
+  /// If true, additionally connect each node to *all* nodes within its
+  /// neighborhood depth, as real Swarm does. The paper's simulation does
+  /// not; default off.
+  bool neighborhood_connect{false};
+  /// Minimum peers defining the neighborhood depth (Swarm uses 4).
+  std::size_t neighborhood_min_peers{4};
+};
+
+/// An immutable overlay: addresses, routing tables, and the closest-node
+/// index. Value type; cheap to share by const reference.
+class Topology {
+ public:
+  /// Builds a topology. All randomness (addresses, bucket sampling) is
+  /// drawn from `rng`, so equal seeds give identical networks.
+  static Topology build(const TopologyConfig& config, Rng& rng);
+
+  [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AddressSpace& space() const noexcept { return space_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return addresses_.size(); }
+
+  [[nodiscard]] Address address_of(NodeIndex n) const noexcept { return addresses_[n]; }
+  [[nodiscard]] std::optional<NodeIndex> index_of(Address a) const noexcept;
+  [[nodiscard]] const RoutingTable& table(NodeIndex n) const noexcept { return tables_[n]; }
+  [[nodiscard]] std::span<const Address> addresses() const noexcept { return addresses_; }
+
+  /// The node that stores content at `target` (globally XOR-closest node).
+  [[nodiscard]] NodeIndex closest_node(Address target) const noexcept;
+
+  /// Total directed "knows" edges (sum of routing-table sizes).
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+ private:
+  Topology(TopologyConfig config, AddressSpace space);
+
+  TopologyConfig config_;
+  AddressSpace space_;
+  std::vector<Address> addresses_;
+  std::vector<RoutingTable> tables_;
+  std::unordered_map<Address, NodeIndex> index_;
+  std::optional<ClosestNodeIndex> closest_;
+};
+
+}  // namespace fairswap::overlay

@@ -1,0 +1,51 @@
+#include "storage/bmt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstring>
+
+#include "storage/chunk.hpp"
+
+namespace fairswap::storage {
+
+Digest bmt_root(std::span<const std::uint8_t> payload) {
+  assert(payload.size() <= kChunkSize);
+  // Level 0: 128 segments of 32 bytes, zero padded.
+  std::array<Digest, kBranches> level{};
+  const std::size_t len = std::min(payload.size(), kChunkSize);
+  for (std::size_t seg = 0; seg < kBranches; ++seg) {
+    const std::size_t off = seg * kRefSize;
+    if (off < len) {
+      const std::size_t take = std::min(kRefSize, len - off);
+      std::memcpy(level[seg].data(), payload.data() + off, take);
+    }
+  }
+  // Pairwise reduction: 128 -> 64 -> ... -> 1.
+  std::size_t width = kBranches;
+  std::array<std::uint8_t, 2 * kRefSize> pair{};
+  while (width > 1) {
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      std::memcpy(pair.data(), level[2 * i].data(), kRefSize);
+      std::memcpy(pair.data() + kRefSize, level[2 * i + 1].data(), kRefSize);
+      level[i] = keccak256(pair);
+    }
+    width /= 2;
+  }
+  return level[0];
+}
+
+Digest bmt_chunk_address(std::span<const std::uint8_t> payload,
+                         std::uint64_t span) {
+  const Digest root = bmt_root(payload);
+  Keccak256 h;
+  std::array<std::uint8_t, 8> span_le{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    span_le[i] = static_cast<std::uint8_t>(span >> (8 * i));
+  }
+  h.update(span_le);
+  h.update(root);
+  return h.finalize();
+}
+
+}  // namespace fairswap::storage

@@ -1,0 +1,27 @@
+// BMT — Swarm's Binary Merkle Tree chunk hash.
+//
+// A chunk's payload is zero-padded to 4096 bytes and split into 128
+// 32-byte segments; adjacent segments are pairwise keccak256-hashed up a
+// 7-level binary tree. The chunk address is keccak256(span || root), where
+// span is the 64-bit little-endian count of data bytes the chunk
+// represents. This matches the Swarm specification ("The Book of Swarm",
+// §7.3.1) and the bee implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "storage/keccak.hpp"
+
+namespace fairswap::storage {
+
+/// BMT root hash of a payload (zero-padded to 4096 bytes). Payloads longer
+/// than 4096 bytes are invalid; the excess is ignored in release builds
+/// and asserted in debug builds.
+[[nodiscard]] Digest bmt_root(std::span<const std::uint8_t> payload);
+
+/// Full Swarm chunk address: keccak256(span_le64 || bmt_root(payload)).
+[[nodiscard]] Digest bmt_chunk_address(std::span<const std::uint8_t> payload,
+                                       std::uint64_t span);
+
+}  // namespace fairswap::storage

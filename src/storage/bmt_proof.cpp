@@ -1,0 +1,76 @@
+#include "storage/bmt_proof.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace fairswap::storage {
+
+namespace {
+
+/// Hashes the concatenation of two 32-byte nodes.
+Digest hash_pair(const Digest& left, const Digest& right) {
+  Keccak256 h;
+  h.update(left);
+  h.update(right);
+  return h.finalize();
+}
+
+}  // namespace
+
+BmtProof bmt_prove(std::span<const std::uint8_t> payload, std::uint64_t span,
+                   std::size_t segment_index) {
+  assert(segment_index < kBranches);
+  BmtProof proof;
+  proof.segment_index = segment_index;
+  proof.span = span;
+
+  // Materialize the padded leaf level.
+  std::array<Digest, kBranches> level{};
+  const std::size_t len = payload.size() < kChunkSize ? payload.size() : kChunkSize;
+  for (std::size_t seg = 0; seg < kBranches; ++seg) {
+    const std::size_t off = seg * kRefSize;
+    if (off < len) {
+      const std::size_t take = std::min(kRefSize, len - off);
+      std::memcpy(level[seg].data(), payload.data() + off, take);
+    }
+  }
+  proof.segment = level[segment_index];
+
+  // Walk up the tree, collecting the sibling at every level.
+  std::size_t width = kBranches;
+  std::size_t index = segment_index;
+  while (width > 1) {
+    proof.siblings.push_back(level[index ^ 1]);
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      level[i] = hash_pair(level[2 * i], level[2 * i + 1]);
+    }
+    width /= 2;
+    index /= 2;
+  }
+  assert(proof.siblings.size() == kBmtProofDepth);
+  return proof;
+}
+
+bool bmt_verify(const Digest& chunk_address, const BmtProof& proof) {
+  if (proof.siblings.size() != kBmtProofDepth) return false;
+  if (proof.segment_index >= kBranches) return false;
+
+  Digest node = proof.segment;
+  std::size_t index = proof.segment_index;
+  for (const Digest& sibling : proof.siblings) {
+    node = (index & 1) ? hash_pair(sibling, node) : hash_pair(node, sibling);
+    index /= 2;
+  }
+
+  // Recompute the chunk address from span || root.
+  Keccak256 h;
+  std::array<std::uint8_t, 8> span_le{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    span_le[i] = static_cast<std::uint8_t>(proof.span >> (8 * i));
+  }
+  h.update(span_le);
+  h.update(node);
+  return h.finalize() == chunk_address;
+}
+
+}  // namespace fairswap::storage

@@ -1,0 +1,45 @@
+// BMT inclusion proofs.
+//
+// Because a chunk's address is the root of a binary Merkle tree over its
+// 128 segments, a node can prove possession of a chunk by revealing one
+// segment plus its log2(128) = 7 sibling hashes — the primitive Swarm's
+// storage incentives build on (proof of custody in the redistribution
+// game). The proof verifies against the chunk address alone.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/chunk.hpp"
+#include "storage/keccak.hpp"
+
+namespace fairswap::storage {
+
+/// An inclusion proof for one 32-byte segment of a chunk.
+struct BmtProof {
+  /// Which of the 128 segments is proven.
+  std::size_t segment_index{0};
+  /// The segment's bytes (zero-padded if beyond the payload).
+  std::array<std::uint8_t, kRefSize> segment{};
+  /// Sibling hashes from leaf level to the root (7 entries).
+  std::vector<Digest> siblings;
+  /// The chunk's span, needed for the final keccak(span || root) step.
+  std::uint64_t span{0};
+};
+
+/// Number of sibling hashes in a valid proof (log2 of the segment count).
+inline constexpr std::size_t kBmtProofDepth = 7;
+
+/// Builds the inclusion proof for `segment_index` of a chunk payload.
+/// Precondition: segment_index < kBranches (128).
+[[nodiscard]] BmtProof bmt_prove(std::span<const std::uint8_t> payload,
+                                 std::uint64_t span, std::size_t segment_index);
+
+/// Verifies a proof against a chunk address (as produced by
+/// bmt_chunk_address). False on wrong segment data, wrong position,
+/// wrong span, or malformed sibling path.
+[[nodiscard]] bool bmt_verify(const Digest& chunk_address, const BmtProof& proof);
+
+}  // namespace fairswap::storage

@@ -1,0 +1,42 @@
+#include "storage/chunk.hpp"
+
+#include <cassert>
+
+#include "storage/bmt.hpp"
+
+namespace fairswap::storage {
+
+Chunk::Chunk(std::vector<std::uint8_t> payload, std::uint64_t span)
+    : payload_(std::move(payload)), span_(span) {
+  assert(payload_.size() <= kChunkSize);
+}
+
+Chunk Chunk::data_chunk(std::vector<std::uint8_t> payload) {
+  const auto span = static_cast<std::uint64_t>(payload.size());
+  return Chunk(std::move(payload), span);
+}
+
+const Digest& Chunk::address() const {
+  if (!address_valid_) {
+    cached_address_ = bmt_chunk_address(payload_, span_);
+    address_valid_ = true;
+  }
+  return cached_address_;
+}
+
+Address Chunk::overlay_address(const AddressSpace& space) const {
+  return digest_to_overlay(address(), space);
+}
+
+Address digest_to_overlay(const Digest& d, const AddressSpace& space) {
+  // Take the top `bits` bits, big-endian: byte 0 contributes the most
+  // significant bits, mirroring how Swarm compares 256-bit addresses.
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < 5; ++i) {  // 40 bits is plenty for bits <= 32
+    acc = (acc << 8) | d[i];
+  }
+  const int shift = 40 - space.bits();
+  return Address{static_cast<AddressValue>(acc >> shift)};
+}
+
+}  // namespace fairswap::storage

@@ -1,0 +1,58 @@
+// The Swarm chunk model: fixed-size 4KB content units addressed on the
+// same address space as nodes (paper §III-A: "All content in Swarm, fixed
+// size chunks of 4KB, are addressed on the same address space as nodes").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/address.hpp"
+#include "storage/keccak.hpp"
+
+namespace fairswap::storage {
+
+/// Maximum chunk payload in bytes.
+inline constexpr std::size_t kChunkSize = 4096;
+/// Reference (digest) size in bytes.
+inline constexpr std::size_t kRefSize = 32;
+/// Branching factor of the Swarm chunk tree: how many child references fit
+/// in one intermediate chunk.
+inline constexpr std::size_t kBranches = kChunkSize / kRefSize;  // 128
+
+/// A content-addressed chunk: payload plus the span (total number of data
+/// bytes reachable through this chunk — for a data chunk, its length; for
+/// an intermediate chunk, the subtree size).
+class Chunk {
+ public:
+  Chunk() = default;
+  Chunk(std::vector<std::uint8_t> payload, std::uint64_t span);
+
+  /// Builds a leaf (data) chunk; span == payload size.
+  [[nodiscard]] static Chunk data_chunk(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept { return payload_; }
+  [[nodiscard]] std::uint64_t span() const noexcept { return span_; }
+  [[nodiscard]] std::size_t size() const noexcept { return payload_.size(); }
+
+  /// The chunk's content address: BMT hash over the payload keyed with the
+  /// span (see bmt.hpp). Computed lazily and cached.
+  [[nodiscard]] const Digest& address() const;
+
+  /// Projects the 256-bit content address onto a small overlay address
+  /// space by taking the top `space.bits()` bits — how the simulator maps
+  /// real chunks into its 16-bit experiment space.
+  [[nodiscard]] Address overlay_address(const AddressSpace& space) const;
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t span_{0};
+  mutable Digest cached_address_{};
+  mutable bool address_valid_{false};
+};
+
+/// Projects any 32-byte digest onto an overlay address space (top bits,
+/// big-endian byte order).
+[[nodiscard]] Address digest_to_overlay(const Digest& d, const AddressSpace& space);
+
+}  // namespace fairswap::storage

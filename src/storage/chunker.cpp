@@ -1,0 +1,80 @@
+#include "storage/chunker.hpp"
+
+#include <cstring>
+
+namespace fairswap::storage {
+
+std::size_t leaf_chunks_for_size(std::uint64_t size) noexcept {
+  if (size == 0) return 1;
+  return static_cast<std::size_t>((size + kChunkSize - 1) / kChunkSize);
+}
+
+std::size_t total_chunks_for_size(std::uint64_t size) noexcept {
+  std::size_t level = leaf_chunks_for_size(size);
+  std::size_t total = level;
+  while (level > 1) {
+    level = (level + kBranches - 1) / kBranches;
+    total += level;
+  }
+  return total;
+}
+
+ChunkTree chunk_data(std::span<const std::uint8_t> data) {
+  ChunkTree tree;
+
+  // Leaf level.
+  std::vector<std::size_t> level_begin;  // index of first chunk per level
+  level_begin.push_back(0);
+  if (data.empty()) {
+    tree.chunks.push_back(Chunk::data_chunk({}));
+  } else {
+    for (std::size_t off = 0; off < data.size(); off += kChunkSize) {
+      const std::size_t take = std::min(kChunkSize, data.size() - off);
+      std::vector<std::uint8_t> payload(data.begin() + static_cast<std::ptrdiff_t>(off),
+                                        data.begin() + static_cast<std::ptrdiff_t>(off + take));
+      tree.chunks.push_back(Chunk::data_chunk(std::move(payload)));
+    }
+  }
+  tree.leaf_count = tree.chunks.size();
+  tree.depth = 1;
+
+  // Intermediate levels: pack child references (32-byte addresses) into
+  // parent chunks; a parent's span is the sum of its children's spans.
+  std::size_t begin = 0;
+  std::size_t count = tree.chunks.size();
+  while (count > 1) {
+    const std::size_t next_begin = tree.chunks.size();
+    for (std::size_t i = 0; i < count; i += kBranches) {
+      const std::size_t kids = std::min(kBranches, count - i);
+      std::vector<std::uint8_t> payload;
+      payload.reserve(kids * kRefSize);
+      std::uint64_t span = 0;
+      for (std::size_t c = 0; c < kids; ++c) {
+        const Chunk& child = tree.chunks[begin + i + c];
+        const Digest& ref = child.address();
+        payload.insert(payload.end(), ref.begin(), ref.end());
+        span += child.span();
+      }
+      tree.chunks.emplace_back(std::move(payload), span);
+    }
+    begin = next_begin;
+    count = tree.chunks.size() - next_begin;
+    ++tree.depth;
+  }
+
+  tree.root = tree.chunks.back().address();
+  return tree;
+}
+
+std::vector<std::uint8_t> reassemble(const ChunkTree& tree) {
+  std::vector<std::uint8_t> out;
+  // Leaves are stored first and in order; concatenating them re-creates
+  // the original data.
+  for (std::size_t i = 0; i < tree.leaf_count; ++i) {
+    const auto payload = tree.chunks[i].payload();
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+}  // namespace fairswap::storage

@@ -1,0 +1,44 @@
+// File chunker: splits arbitrary data into the Swarm chunk tree.
+//
+// Data is cut into 4KB leaf chunks; every 128 leaf references are packed
+// into an intermediate chunk, recursively, until a single root reference
+// remains. "When a Swarm node downloads a file, it has to contact one node
+// ... for each of the file's chunks" (paper §III-B) — the chunk count the
+// workload generator randomizes is exactly the size of this tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "storage/chunk.hpp"
+
+namespace fairswap::storage {
+
+/// The result of chunking one file.
+struct ChunkTree {
+  /// All chunks, leaves first, then intermediate levels, root last.
+  std::vector<Chunk> chunks;
+  /// Reference (content address) of the root chunk; addresses the file.
+  Digest root{};
+  /// Number of leaf (data) chunks.
+  std::size_t leaf_count{0};
+  /// Tree depth (1 for a single-chunk file).
+  std::size_t depth{0};
+};
+
+/// Splits `data` into a Swarm chunk tree. Empty data yields a single empty
+/// data chunk.
+[[nodiscard]] ChunkTree chunk_data(std::span<const std::uint8_t> data);
+
+/// Number of leaf chunks a file of `size` bytes produces.
+[[nodiscard]] std::size_t leaf_chunks_for_size(std::uint64_t size) noexcept;
+
+/// Total chunks (leaves + intermediates + root) for a file of `size` bytes.
+[[nodiscard]] std::size_t total_chunks_for_size(std::uint64_t size) noexcept;
+
+/// Reassembles the original data from a chunk tree (inverse of chunk_data);
+/// used by round-trip tests and the quickstart example.
+[[nodiscard]] std::vector<std::uint8_t> reassemble(const ChunkTree& tree);
+
+}  // namespace fairswap::storage

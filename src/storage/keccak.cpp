@@ -1,0 +1,143 @@
+#include "storage/keccak.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace fairswap::storage {
+
+namespace {
+
+constexpr std::array<std::uint64_t, 24> kRoundConstants = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr std::array<int, 25> kRotations = {
+    0,  1,  62, 28, 27,  // x = 0..4, y = 0
+    36, 44, 6,  55, 20,  // y = 1
+    3,  10, 43, 25, 39,  // y = 2
+    41, 45, 15, 21, 8,   // y = 3
+    18, 2,  61, 56, 14}; // y = 4
+
+}  // namespace
+
+Keccak256::Keccak256() noexcept = default;
+
+void Keccak256::reset() noexcept {
+  state_.fill(0);
+  buffer_.fill(0);
+  buffered_ = 0;
+}
+
+void Keccak256::update(std::span<const std::uint8_t> data) noexcept {
+  update(data.data(), data.size());
+}
+
+void Keccak256::update(const std::uint8_t* data, std::size_t len) noexcept {
+  while (len > 0) {
+    const std::size_t take = std::min(len, kRateBytes - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == kRateBytes) {
+      absorb_block();
+      buffered_ = 0;
+    }
+  }
+}
+
+Digest Keccak256::finalize() noexcept {
+  // Multi-rate padding: 0x01 ... 0x80 (original Keccak, as used by
+  // Ethereum/Swarm).
+  std::memset(buffer_.data() + buffered_, 0, kRateBytes - buffered_);
+  buffer_[buffered_] = 0x01;
+  buffer_[kRateBytes - 1] |= 0x80;
+  absorb_block();
+
+  Digest out{};
+  // Squeeze: 32 bytes from the little-endian lanes.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t lane = state_[i];
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[i * 8 + b] = static_cast<std::uint8_t>(lane >> (8 * b));
+    }
+  }
+  return out;
+}
+
+void Keccak256::absorb_block() noexcept {
+  for (std::size_t i = 0; i < kRateBytes / 8; ++i) {
+    std::uint64_t lane = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      lane |= static_cast<std::uint64_t>(buffer_[i * 8 + b]) << (8 * b);
+    }
+    state_[i] ^= lane;
+  }
+  permute();
+}
+
+void Keccak256::permute() noexcept {
+  auto& a = state_;
+  for (int round = 0; round < 24; ++round) {
+    // Theta.
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[static_cast<std::size_t>(x)] ^ a[static_cast<std::size_t>(x + 5)] ^
+             a[static_cast<std::size_t>(x + 10)] ^ a[static_cast<std::size_t>(x + 15)] ^
+             a[static_cast<std::size_t>(x + 20)];
+    }
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[static_cast<std::size_t>(x + 5 * y)] ^= d;
+    }
+    // Rho + Pi.
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        const int src = x + 5 * y;
+        const int dst = y + 5 * ((2 * x + 3 * y) % 5);
+        b[dst] = std::rotl(a[static_cast<std::size_t>(src)],
+                           kRotations[static_cast<std::size_t>(src)]);
+      }
+    }
+    // Chi.
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        a[static_cast<std::size_t>(x + 5 * y)] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    a[0] ^= kRoundConstants[static_cast<std::size_t>(round)];
+  }
+}
+
+Digest keccak256(std::span<const std::uint8_t> data) {
+  Keccak256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+Digest keccak256(const std::string& data) {
+  return keccak256(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::string to_hex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t byte : d) {
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0x0f];
+  }
+  return out;
+}
+
+}  // namespace fairswap::storage

@@ -1,0 +1,56 @@
+// Keccak-256 — the hash underlying Swarm's content addressing.
+//
+// This is the *original* Keccak with multi-rate padding (0x01), as used by
+// Ethereum and Swarm, not NIST SHA3-256 (0x06 padding). Implemented from
+// the Keccak reference specification; tested against the well-known
+// Ethereum vectors (empty string, "abc", ...).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fairswap::storage {
+
+/// A 32-byte digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot Keccak-256 of a byte span.
+[[nodiscard]] Digest keccak256(std::span<const std::uint8_t> data);
+
+/// Convenience overload for string data.
+[[nodiscard]] Digest keccak256(const std::string& data);
+
+/// Incremental hasher (absorb/finalize). Useful for hashing
+/// span-prefixed chunk content without concatenation copies.
+class Keccak256 {
+ public:
+  Keccak256() noexcept;
+
+  /// Absorbs more input. May be called repeatedly.
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(const std::uint8_t* data, std::size_t len) noexcept;
+
+  /// Finalizes and returns the digest. The hasher must not be reused
+  /// afterwards (reset() first).
+  [[nodiscard]] Digest finalize() noexcept;
+
+  /// Returns the hasher to its initial state.
+  void reset() noexcept;
+
+ private:
+  void absorb_block() noexcept;
+  void permute() noexcept;
+
+  static constexpr std::size_t kRateBytes = 136;  // 1088-bit rate
+
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, kRateBytes> buffer_{};
+  std::size_t buffered_{0};
+};
+
+/// Renders a digest as lowercase hex.
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+}  // namespace fairswap::storage

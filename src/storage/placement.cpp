@@ -1,0 +1,43 @@
+#include "storage/placement.hpp"
+
+#include <algorithm>
+
+namespace fairswap::storage {
+
+Placement::Placement(const overlay::Topology& topo, PlacementConfig config) noexcept
+    : topo_(&topo), config_(config) {}
+
+overlay::NodeIndex Placement::primary(Address chunk) const noexcept {
+  return topo_->closest_node(chunk);
+}
+
+std::vector<overlay::NodeIndex> Placement::storers(Address chunk) const {
+  std::vector<overlay::NodeIndex> nodes(topo_->node_count());
+  for (overlay::NodeIndex i = 0; i < nodes.size(); ++i) nodes[i] = i;
+  const std::size_t r = std::min(config_.redundancy, nodes.size());
+  std::partial_sort(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(r),
+                    nodes.end(), [&](overlay::NodeIndex a, overlay::NodeIndex b) {
+                      const auto da = xor_distance(topo_->address_of(a), chunk);
+                      const auto db = xor_distance(topo_->address_of(b), chunk);
+                      return da != db ? da < db : a < b;
+                    });
+  nodes.resize(r);
+  return nodes;
+}
+
+bool Placement::is_storer(overlay::NodeIndex node, Address chunk) const {
+  if (config_.redundancy == 1) return primary(chunk) == node;
+  const auto s = storers(chunk);
+  return std::find(s.begin(), s.end(), node) != s.end();
+}
+
+std::vector<std::uint64_t> Placement::primary_load_census() const {
+  std::vector<std::uint64_t> load(topo_->node_count(), 0);
+  const std::uint64_t space = topo_->space().size();
+  for (std::uint64_t a = 0; a < space; ++a) {
+    ++load[primary(Address{static_cast<AddressValue>(a)})];
+  }
+  return load;
+}
+
+}  // namespace fairswap::storage

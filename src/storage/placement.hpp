@@ -1,0 +1,50 @@
+// Chunk placement: which nodes are responsible for which addresses.
+//
+// The paper's rule is the simplest possible: "we assume that only the node
+// closest to a data chunk's address is storing that chunk". Real Swarm
+// replicates within the neighborhood; we support a redundancy parameter so
+// the replication ablation can quantify the difference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/address.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::storage {
+
+/// Placement policy parameters.
+struct PlacementConfig {
+  /// Number of closest nodes storing each chunk. 1 = paper's rule.
+  std::size_t redundancy{1};
+};
+
+/// Computes storer sets over a topology.
+class Placement {
+ public:
+  Placement(const overlay::Topology& topo, PlacementConfig config) noexcept;
+
+  /// The primary storer (globally closest node) — O(bits).
+  [[nodiscard]] overlay::NodeIndex primary(Address chunk) const noexcept;
+
+  /// The `redundancy` closest nodes, ascending by XOR distance — O(n log n),
+  /// intended for placement analysis, not hot loops.
+  [[nodiscard]] std::vector<overlay::NodeIndex> storers(Address chunk) const;
+
+  /// True if `node` is among the storers of `chunk`.
+  [[nodiscard]] bool is_storer(overlay::NodeIndex node, Address chunk) const;
+
+  [[nodiscard]] const PlacementConfig& config() const noexcept { return config_; }
+
+  /// Distribution analysis: how many distinct chunks (from a uniform
+  /// census over the whole address space) each node is primary storer of.
+  /// Exposes the load skew that placement by closest-node induces.
+  [[nodiscard]] std::vector<std::uint64_t> primary_load_census() const;
+
+ private:
+  const overlay::Topology* topo_;
+  PlacementConfig config_;
+};
+
+}  // namespace fairswap::storage

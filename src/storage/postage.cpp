@@ -1,0 +1,61 @@
+#include "storage/postage.hpp"
+
+#include <cassert>
+
+namespace fairswap::storage {
+
+BatchId PostageOffice::buy_batch(std::uint32_t owner, std::uint8_t depth,
+                                 Token value_per_chunk) {
+  assert(!value_per_chunk.negative());
+  Batch batch;
+  batch.id = static_cast<BatchId>(batches_.size());
+  batch.owner = owner;
+  batch.depth = depth;
+  batch.value_per_chunk = value_per_chunk;
+  batch.remaining_value = value_per_chunk;
+  purchased_ += value_per_chunk * static_cast<Token::rep>(batch.capacity());
+  batches_.push_back(batch);
+  return batch.id;
+}
+
+std::optional<Stamp> PostageOffice::stamp(BatchId id, Address chunk) {
+  if (id >= batches_.size()) return std::nullopt;
+  Batch& batch = batches_[id];
+  if (batch.exhausted() || batch.expired()) return std::nullopt;
+  Stamp s{id, chunk, batch.stamped};
+  ++batch.stamped;
+  return s;
+}
+
+bool PostageOffice::valid(const Stamp& stamp) const {
+  const Batch* batch = find(stamp.batch);
+  if (batch == nullptr) return false;
+  return stamp.index < batch->stamped && !batch->expired();
+}
+
+Token PostageOffice::tick(Token amount) {
+  assert(!amount.negative());
+  Token collected;
+  for (Batch& batch : batches_) {
+    if (batch.expired() || batch.stamped == 0) continue;
+    const Token drain =
+        amount < batch.remaining_value ? amount : batch.remaining_value;
+    batch.remaining_value -= drain;
+    collected += drain * static_cast<Token::rep>(batch.stamped);
+  }
+  pot_ += collected;
+  return collected;
+}
+
+Token PostageOffice::collect_pot() {
+  const Token out = pot_;
+  pot_ = Token(0);
+  return out;
+}
+
+const Batch* PostageOffice::find(BatchId id) const {
+  if (id >= batches_.size()) return nullptr;
+  return &batches_[id];
+}
+
+}  // namespace fairswap::storage

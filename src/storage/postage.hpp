@@ -1,0 +1,86 @@
+// Postage stamps — how uploads pay for storage.
+//
+// In Swarm, an uploader buys a *postage batch* (an on-chain purchase of
+// 2^depth chunk slots at a given per-chunk balance) and attaches a stamp
+// from the batch to every uploaded chunk. Storer nodes use stamp value to
+// prioritize what to keep, and the batch balances drain over time into
+// the redistribution pot that the storage game (incentives/storage_game)
+// pays out. This module models the batch store: purchase, stamping with
+// capacity enforcement, validity checks, and time-based drain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/address.hpp"
+#include "common/token.hpp"
+
+namespace fairswap::storage {
+
+/// Identifier of a postage batch.
+using BatchId = std::uint32_t;
+
+/// A purchased batch: capacity 2^depth chunks, each backed by
+/// `value_per_chunk` of balance that drains at `drain_per_tick`.
+struct Batch {
+  BatchId id{0};
+  std::uint32_t owner{0};          ///< purchasing node (opaque to this module)
+  std::uint8_t depth{16};          ///< capacity = 2^depth chunks
+  Token value_per_chunk;           ///< initial per-chunk balance
+  Token remaining_value;           ///< current per-chunk balance (drains)
+  std::uint64_t stamped{0};        ///< chunks stamped so far
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return std::uint64_t{1} << depth;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return stamped >= capacity(); }
+  [[nodiscard]] bool expired() const noexcept { return remaining_value.is_zero(); }
+};
+
+/// A stamp attached to one uploaded chunk.
+struct Stamp {
+  BatchId batch{0};
+  Address chunk{};
+  std::uint64_t index{0};  ///< position within the batch
+};
+
+/// The batch registry ("postage office"). Purchases mint batches, stamping
+/// consumes slots, ticking drains balances into a collectable pot — the
+/// revenue stream the redistribution game distributes.
+class PostageOffice {
+ public:
+  PostageOffice() = default;
+
+  /// Purchases a batch; total cost = 2^depth * value_per_chunk (tracked in
+  /// total_purchased()). Returns its id.
+  BatchId buy_batch(std::uint32_t owner, std::uint8_t depth, Token value_per_chunk);
+
+  /// Stamps a chunk from the batch. Fails (nullopt) if the batch is
+  /// unknown, exhausted, or expired.
+  std::optional<Stamp> stamp(BatchId batch, Address chunk);
+
+  /// True if the stamp refers to a live batch and an issued slot.
+  [[nodiscard]] bool valid(const Stamp& stamp) const;
+
+  /// Drains every live batch's per-chunk balance by `amount`, crediting
+  /// (drained * stamped-chunks) into the redistribution pot. Returns the
+  /// newly collected revenue.
+  Token tick(Token amount);
+
+  /// Takes the accumulated pot (e.g. one game round's payout), resetting
+  /// it to zero.
+  Token collect_pot();
+
+  [[nodiscard]] const Batch* find(BatchId id) const;
+  [[nodiscard]] std::size_t batch_count() const noexcept { return batches_.size(); }
+  [[nodiscard]] Token pot() const noexcept { return pot_; }
+  [[nodiscard]] Token total_purchased() const noexcept { return purchased_; }
+
+ private:
+  std::vector<Batch> batches_;
+  Token pot_;
+  Token purchased_;
+};
+
+}  // namespace fairswap::storage

@@ -1,0 +1,68 @@
+#include "workload/download_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fairswap::workload {
+
+DownloadGenerator::DownloadGenerator(const overlay::Topology& topo,
+                                     WorkloadConfig config, Rng rng)
+    : topo_(&topo), config_(config), rng_(rng) {
+  assert(config_.min_chunks_per_file >= 1);
+  assert(config_.max_chunks_per_file >= config_.min_chunks_per_file);
+
+  // Eligible originators: a uniformly sampled subset of ceil(share * n).
+  const double share = std::clamp(config_.originator_share, 0.0, 1.0);
+  const auto n = topo.node_count();
+  const auto want = static_cast<std::size_t>(
+      std::ceil(share * static_cast<double>(n)));
+  const auto count = std::max<std::size_t>(1, std::min(want, n));
+  const auto picks = rng_.sample_without_replacement(n, count);
+  originators_.reserve(count);
+  for (std::size_t p : picks) originators_.push_back(static_cast<NodeIndex>(p));
+  std::sort(originators_.begin(), originators_.end());
+
+  if (config_.originator_zipf_alpha > 0.0) {
+    originator_zipf_.emplace(originators_.size(), config_.originator_zipf_alpha);
+  }
+
+  if (config_.catalog_size > 0) {
+    catalog_.reserve(config_.catalog_size);
+    for (std::size_t i = 0; i < config_.catalog_size; ++i) {
+      catalog_.push_back(Address{
+          static_cast<AddressValue>(rng_.next_below(topo.space().size()))});
+    }
+    catalog_zipf_.emplace(catalog_.size(), config_.catalog_zipf_alpha);
+  }
+}
+
+DownloadRequest DownloadGenerator::next() {
+  DownloadRequest req;
+  req.is_upload = rng_.chance(config_.upload_share);
+
+  // Originator.
+  if (originator_zipf_) {
+    req.originator = originators_[originator_zipf_->sample(rng_)];
+  } else {
+    req.originator = originators_[rng_.index(originators_.size())];
+  }
+
+  // Chunk count: uniform in [min, max].
+  const auto chunks = static_cast<std::size_t>(rng_.uniform_int(
+      static_cast<std::int64_t>(config_.min_chunks_per_file),
+      static_cast<std::int64_t>(config_.max_chunks_per_file)));
+  req.chunks.reserve(chunks);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (catalog_zipf_) {
+      req.chunks.push_back(catalog_[catalog_zipf_->sample(rng_)]);
+    } else {
+      req.chunks.push_back(Address{
+          static_cast<AddressValue>(rng_.next_below(topo_->space().size()))});
+    }
+  }
+  return req;
+}
+
+}  // namespace fairswap::workload

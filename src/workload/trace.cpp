@@ -1,0 +1,52 @@
+#include "workload/trace.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace fairswap::workload {
+
+void TraceRecorder::record(const DownloadRequest& req) {
+  requests_.push_back(req);
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream out;
+  for (const auto& req : requests_) {
+    out << req.originator;
+    for (const Address c : req.chunks) out << ',' << c.v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::vector<DownloadRequest> trace_from_csv(const std::string& csv) {
+  std::vector<DownloadRequest> out;
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    DownloadRequest req;
+    std::istringstream cells(line);
+    std::string cell;
+    bool first = true;
+    bool valid = true;
+    while (std::getline(cells, cell, ',')) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(cell.c_str(), &end, 10);
+      if (!end || *end != '\0' || cell.empty()) {
+        valid = false;
+        break;
+      }
+      if (first) {
+        req.originator = static_cast<NodeIndex>(v);
+        first = false;
+      } else {
+        req.chunks.push_back(Address{static_cast<AddressValue>(v)});
+      }
+    }
+    if (valid && !first) out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace fairswap::workload

@@ -1,0 +1,37 @@
+// Workload traces: record generated downloads to CSV and replay them.
+//
+// The paper runs the same workload against multiple configurations
+// ("allows us to collect data from runs on multiple machines into a single
+// simulation"); recording a trace once and replaying it everywhere removes
+// generator-order effects from cross-configuration comparisons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/download_generator.hpp"
+
+namespace fairswap::workload {
+
+/// Serializes download requests as CSV rows "originator,chunk,chunk,...".
+class TraceRecorder {
+ public:
+  void record(const DownloadRequest& req);
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] const std::vector<DownloadRequest>& requests() const noexcept {
+    return requests_;
+  }
+
+  /// One line per request: "originator,chunk0,chunk1,...".
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<DownloadRequest> requests_;
+};
+
+/// Parses a trace produced by TraceRecorder::to_csv. Malformed lines are
+/// skipped.
+[[nodiscard]] std::vector<DownloadRequest> trace_from_csv(const std::string& csv);
+
+}  // namespace fairswap::workload

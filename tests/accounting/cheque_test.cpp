@@ -1,0 +1,104 @@
+#include "accounting/cheque.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairswap::accounting {
+namespace {
+
+TEST(Chequebook, IssueAccumulatesCumulative) {
+  Chequebook book(0);
+  const Cheque c1 = book.issue(1, Token(10));
+  const Cheque c2 = book.issue(1, Token(15));
+  EXPECT_EQ(c1.cumulative, Token(10));
+  EXPECT_EQ(c2.cumulative, Token(25));
+  EXPECT_GT(c2.serial, c1.serial);
+}
+
+TEST(Chequebook, SeparateBeneficiariesSeparateTotals) {
+  Chequebook book(0);
+  book.issue(1, Token(10));
+  book.issue(2, Token(20));
+  EXPECT_EQ(book.total_issued(1), Token(10));
+  EXPECT_EQ(book.total_issued(2), Token(20));
+  EXPECT_EQ(book.total_issued(), Token(30));
+  EXPECT_EQ(book.beneficiary_count(), 2u);
+}
+
+TEST(Chequebook, LatestReflectsCurrentTotal) {
+  Chequebook book(7);
+  EXPECT_FALSE(book.latest(1).has_value());
+  book.issue(1, Token(5));
+  book.issue(1, Token(5));
+  const auto latest = book.latest(1);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->cumulative, Token(10));
+  EXPECT_EQ(latest->issuer, 7u);
+  EXPECT_EQ(latest->beneficiary, 1u);
+}
+
+TEST(SettlementChain, CashingYieldsDeltaMinusFee) {
+  Chequebook book(0);
+  SettlementChain chain(Token(3));
+  book.issue(1, Token(50));
+  const auto r1 = chain.cash(*book.latest(1));
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->gross, Token(50));
+  EXPECT_EQ(r1->fee, Token(3));
+  EXPECT_EQ(r1->net, Token(47));
+}
+
+TEST(SettlementChain, RecashingSameChequeYieldsNothing) {
+  Chequebook book(0);
+  SettlementChain chain(Token(3));
+  book.issue(1, Token(50));
+  const Cheque c = *book.latest(1);
+  ASSERT_TRUE(chain.cash(c).has_value());
+  EXPECT_FALSE(chain.cash(c).has_value());
+  EXPECT_EQ(chain.transactions(), 1u);
+}
+
+TEST(SettlementChain, CumulativeChequeCashesOnlyDelta) {
+  Chequebook book(0);
+  SettlementChain chain(Token(1));
+  book.issue(1, Token(50));
+  (void)chain.cash(*book.latest(1));
+  book.issue(1, Token(30));
+  const auto r = chain.cash(*book.latest(1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->gross, Token(30));
+}
+
+TEST(SettlementChain, FeeCanExceedReward) {
+  // The §V concern: "the transaction cost for receiving the reward might
+  // be more than the reward amount."
+  Chequebook book(0);
+  SettlementChain chain(Token(100));
+  book.issue(1, Token(5));
+  const auto r = chain.cash(*book.latest(1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_LT(r->net, Token(0));
+}
+
+TEST(SettlementChain, TracksTotalFees) {
+  Chequebook a(0);
+  Chequebook b(1);
+  SettlementChain chain(Token(2));
+  a.issue(5, Token(10));
+  b.issue(5, Token(10));
+  (void)chain.cash(*a.latest(5));
+  (void)chain.cash(*b.latest(5));
+  EXPECT_EQ(chain.transactions(), 2u);
+  EXPECT_EQ(chain.total_fees_collected(), Token(4));
+}
+
+TEST(SettlementChain, IndependentIssuerBeneficiaryPairs) {
+  Chequebook a(0);
+  SettlementChain chain(Token(0));
+  a.issue(1, Token(10));
+  a.issue(2, Token(20));
+  EXPECT_EQ(chain.cash(*a.latest(1))->gross, Token(10));
+  EXPECT_EQ(chain.cash(*a.latest(2))->gross, Token(20));
+}
+
+}  // namespace
+}  // namespace fairswap::accounting

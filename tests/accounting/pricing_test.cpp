@@ -1,0 +1,74 @@
+#include "accounting/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairswap::accounting {
+namespace {
+
+TEST(XorDistancePricer, ProportionalToDistancePlusOne) {
+  const AddressSpace space(8);
+  const XorDistancePricer pricer(1);
+  EXPECT_EQ(pricer.price(space, Address{0}, Address{0}), Token(1));
+  EXPECT_EQ(pricer.price(space, Address{0}, Address{5}), Token(6));
+  EXPECT_EQ(pricer.price(space, Address{255}, Address{0}), Token(256));
+}
+
+TEST(XorDistancePricer, BaseMultiplies) {
+  const AddressSpace space(8);
+  const XorDistancePricer pricer(10);
+  EXPECT_EQ(pricer.price(space, Address{0}, Address{5}), Token(60));
+}
+
+TEST(XorDistancePricer, StrictlyPositiveEverywhere) {
+  const AddressSpace space(8);
+  const XorDistancePricer pricer;
+  for (AddressValue a = 0; a < 256; a += 17) {
+    EXPECT_GT(pricer.price(space, Address{a}, Address{a ^ 3}), Token(0));
+  }
+}
+
+TEST(ProximityPricer, CheaperWhenCloser) {
+  const AddressSpace space(16);
+  const ProximityPricer pricer(10);
+  const Address chunk{0b0000'0000'0000'0000};
+  const Address near{0b0000'0000'0000'0001};   // PO 15
+  const Address far{0b1000'0000'0000'0000};    // PO 0
+  EXPECT_LT(pricer.price(space, near, chunk), pricer.price(space, far, chunk));
+}
+
+TEST(ProximityPricer, LinearInPrefixSteps) {
+  const AddressSpace space(8);
+  const ProximityPricer pricer(10);
+  // PO 0 -> 8 steps -> 80; PO 7 -> 1 step -> 10.
+  EXPECT_EQ(pricer.price(space, Address{0b10000000}, Address{0}), Token(80));
+  EXPECT_EQ(pricer.price(space, Address{0b00000001}, Address{0}), Token(10));
+}
+
+TEST(ProximityPricer, ExactMatchClampsToMinimumPrice) {
+  const AddressSpace space(8);
+  const ProximityPricer pricer(10);
+  EXPECT_EQ(pricer.price(space, Address{42}, Address{42}), Token(10));
+}
+
+TEST(FlatPricer, ConstantRegardlessOfDistance) {
+  const AddressSpace space(16);
+  const FlatPricer pricer(7);
+  EXPECT_EQ(pricer.price(space, Address{0}, Address{0}), Token(7));
+  EXPECT_EQ(pricer.price(space, Address{0}, Address{65535}), Token(7));
+}
+
+TEST(MakePricer, ResolvesKnownNames) {
+  EXPECT_NE(make_pricer("xor-distance"), nullptr);
+  EXPECT_NE(make_pricer("proximity"), nullptr);
+  EXPECT_NE(make_pricer("flat"), nullptr);
+  EXPECT_EQ(make_pricer("bogus"), nullptr);
+}
+
+TEST(MakePricer, NamesRoundTrip) {
+  EXPECT_EQ(make_pricer("xor-distance")->name(), "xor-distance");
+  EXPECT_EQ(make_pricer("proximity")->name(), "proximity");
+  EXPECT_EQ(make_pricer("flat")->name(), "flat");
+}
+
+}  // namespace
+}  // namespace fairswap::accounting

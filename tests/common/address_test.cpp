@@ -1,0 +1,161 @@
+#include "common/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fairswap {
+namespace {
+
+TEST(Address, XorDistanceOfEqualAddressesIsZero) {
+  EXPECT_EQ(xor_distance(Address{42}, Address{42}), 0u);
+}
+
+TEST(Address, XorDistanceIsSymmetric) {
+  EXPECT_EQ(xor_distance(Address{0b1010}, Address{0b0110}),
+            xor_distance(Address{0b0110}, Address{0b1010}));
+}
+
+TEST(Address, XorDistanceMatchesHandComputedExample) {
+  // 0b1010 ^ 0b0110 = 0b1100 = 12.
+  EXPECT_EQ(xor_distance(Address{0b1010}, Address{0b0110}), 12u);
+}
+
+TEST(Address, ComparisonOperatorsFollowValue) {
+  EXPECT_LT(Address{1}, Address{2});
+  EXPECT_EQ(Address{7}, Address{7});
+  EXPECT_NE(Address{7}, Address{8});
+}
+
+TEST(AddressSpace, ClampsBitsToValidRange) {
+  EXPECT_EQ(AddressSpace(0).bits(), 1);
+  EXPECT_EQ(AddressSpace(-5).bits(), 1);
+  EXPECT_EQ(AddressSpace(40).bits(), 32);
+  EXPECT_EQ(AddressSpace(16).bits(), 16);
+}
+
+TEST(AddressSpace, SizeIsTwoToTheBits) {
+  EXPECT_EQ(AddressSpace(8).size(), 256u);
+  EXPECT_EQ(AddressSpace(16).size(), 65536u);
+  EXPECT_EQ(AddressSpace(32).size(), 1ull << 32);
+}
+
+TEST(AddressSpace, ContainsChecksHighBits) {
+  const AddressSpace space(8);
+  EXPECT_TRUE(space.contains(Address{255}));
+  EXPECT_FALSE(space.contains(Address{256}));
+  EXPECT_TRUE(AddressSpace(32).contains(Address{0xffffffffu}));
+}
+
+TEST(AddressSpace, ProximityOfIdenticalAddressesIsBits) {
+  const AddressSpace space(16);
+  EXPECT_EQ(space.proximity(Address{123}, Address{123}), 16);
+}
+
+TEST(AddressSpace, ProximityCountsCommonPrefixBits) {
+  const AddressSpace space(8);
+  // 0101_1011 vs 0101_0011: common prefix 0101, then 1 vs 0 -> PO = 4.
+  const Address a = AddressSpace::from_binary("01011011");
+  const Address b = AddressSpace::from_binary("01010011");
+  EXPECT_EQ(space.proximity(a, b), 4);
+}
+
+TEST(AddressSpace, ProximityZeroWhenFirstBitDiffers) {
+  const AddressSpace space(8);
+  EXPECT_EQ(space.proximity(Address{0b10000000}, Address{0b00000000}), 0);
+}
+
+TEST(AddressSpace, BucketIndexEqualsProximity) {
+  const AddressSpace space(8);
+  const Address self = AddressSpace::from_binary("01011011");
+  EXPECT_EQ(space.bucket_index(self, AddressSpace::from_binary("11011011")), 0);
+  EXPECT_EQ(space.bucket_index(self, AddressSpace::from_binary("00011011")), 1);
+  EXPECT_EQ(space.bucket_index(self, AddressSpace::from_binary("01111011")), 2);
+  EXPECT_EQ(space.bucket_index(self, AddressSpace::from_binary("01011010")), 7);
+}
+
+TEST(AddressSpace, PaperFig3BucketExamples) {
+  // The paper's Fig. 3: node 91 = 0101_1011 in an 8-bit space; node 245
+  // (1111_0101) lands in bucket 0, node 64 (0100_0000) in bucket 3.
+  const AddressSpace space(8);
+  const Address self{91};
+  EXPECT_EQ(space.bucket_index(self, Address{245}), 0);
+  EXPECT_EQ(space.bucket_index(self, Address{64}), 3);
+}
+
+TEST(AddressSpace, CloserUsesXorMetric) {
+  const AddressSpace space(8);
+  // target 8 = 0b1000: 0 is at distance 8, 7 at distance 15.
+  EXPECT_TRUE(space.closer(Address{0}, Address{7}, Address{8}));
+  EXPECT_FALSE(space.closer(Address{7}, Address{0}, Address{8}));
+}
+
+TEST(AddressSpace, BinaryRoundTrip) {
+  const AddressSpace space(8);
+  const Address a{0b01011011};
+  EXPECT_EQ(space.to_binary(a), "01011011");
+  EXPECT_EQ(AddressSpace::from_binary(space.to_binary(a)), a);
+}
+
+TEST(AddressSpace, BinaryIsZeroPaddedToWidth) {
+  EXPECT_EQ(AddressSpace(8).to_binary(Address{1}), "00000001");
+  EXPECT_EQ(AddressSpace(4).to_binary(Address{1}), "0001");
+}
+
+TEST(AddressSpace, DecimalRendering) {
+  EXPECT_EQ(AddressSpace::to_decimal(Address{91}), "91");
+}
+
+// --- Metric properties, checked over random samples -------------------
+
+class XorMetricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XorMetricProperty, TriangleInequalityHolds) {
+  Rng rng(GetParam());
+  const AddressSpace space(16);
+  for (int i = 0; i < 200; ++i) {
+    const Address a{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address b{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address c{static_cast<AddressValue>(rng.next_below(space.size()))};
+    // XOR satisfies d(a,c) <= d(a,b) ^ d(b,c) <= d(a,b) + d(b,c).
+    EXPECT_LE(xor_distance(a, c),
+              xor_distance(a, b) + xor_distance(b, c));
+  }
+}
+
+TEST_P(XorMetricProperty, UnidirectionalityUniqueDistance) {
+  // For a fixed target and distance there is exactly one point: d(a,t) ==
+  // d(b,t) implies a == b.
+  Rng rng(GetParam());
+  const AddressSpace space(16);
+  for (int i = 0; i < 200; ++i) {
+    const Address t{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address a{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address b{static_cast<AddressValue>(rng.next_below(space.size()))};
+    if (a != b) {
+      EXPECT_NE(xor_distance(a, t), xor_distance(b, t));
+    }
+  }
+}
+
+TEST_P(XorMetricProperty, ProximityConsistentWithDistanceOrdering) {
+  // Longer common prefix implies strictly smaller XOR distance.
+  Rng rng(GetParam());
+  const AddressSpace space(16);
+  for (int i = 0; i < 200; ++i) {
+    const Address t{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address a{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address b{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const int pa = space.proximity(a, t);
+    const int pb = space.proximity(b, t);
+    if (pa > pb) {
+      EXPECT_LT(xor_distance(a, t), xor_distance(b, t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XorMetricProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace fairswap

@@ -1,0 +1,78 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairswap {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValueArgs) {
+  const Config c = parse({"nodes=1000", "k=4"});
+  EXPECT_EQ(c.get_or("nodes", std::int64_t{0}), 1000);
+  EXPECT_EQ(c.get_or("k", std::int64_t{0}), 4);
+}
+
+TEST(Config, AcceptsDoubleDashPrefix) {
+  const Config c = parse({"--seed=42"});
+  EXPECT_EQ(c.get_or("seed", std::uint64_t{0}), 42u);
+}
+
+TEST(Config, CollectsPositionalArguments) {
+  const Config c = parse({"run", "files=10"});
+  ASSERT_EQ(c.positional().size(), 1u);
+  EXPECT_EQ(c.positional()[0], "run");
+}
+
+TEST(Config, TypedGettersFallBackOnMissingKey) {
+  const Config c = parse({});
+  EXPECT_EQ(c.get_or("absent", std::int64_t{7}), 7);
+  EXPECT_DOUBLE_EQ(c.get_or("absent", 2.5), 2.5);
+  EXPECT_EQ(c.get_or("absent", std::string("x")), "x");
+  EXPECT_TRUE(c.get_or("absent", true));
+}
+
+TEST(Config, TypedGettersFallBackOnMalformedValue) {
+  const Config c = parse({"n=abc"});
+  EXPECT_EQ(c.get_or("n", std::int64_t{5}), 5);
+  EXPECT_DOUBLE_EQ(c.get_or("n", 1.5), 1.5);
+}
+
+TEST(Config, ParsesDoubles) {
+  const Config c = parse({"share=0.2"});
+  EXPECT_DOUBLE_EQ(c.get_or("share", 0.0), 0.2);
+}
+
+TEST(Config, ParsesBooleans) {
+  const Config c = parse({"a=true", "b=0", "c=YES", "d=off"});
+  EXPECT_TRUE(c.get_or("a", false));
+  EXPECT_FALSE(c.get_or("b", true));
+  EXPECT_TRUE(c.get_or("c", false));
+  EXPECT_FALSE(c.get_or("d", true));
+}
+
+TEST(Config, FromTextSkipsCommentsAndBlanks) {
+  const Config c = Config::from_text("# comment\n\nnodes=10\nk=4 # trailing\n");
+  EXPECT_EQ(c.get_or("nodes", std::int64_t{0}), 10);
+  EXPECT_EQ(c.get_or("k", std::int64_t{0}), 4);
+}
+
+TEST(Config, LaterValuesOverwrite) {
+  const Config c = parse({"k=4", "k=20"});
+  EXPECT_EQ(c.get_or("k", std::int64_t{0}), 20);
+}
+
+TEST(Config, HasAndGet) {
+  const Config c = parse({"x=1"});
+  EXPECT_TRUE(c.has("x"));
+  EXPECT_FALSE(c.has("y"));
+  EXPECT_EQ(c.get("x").value(), "1");
+  EXPECT_FALSE(c.get("y").has_value());
+}
+
+}  // namespace
+}  // namespace fairswap

@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fairswap {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesCellsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Csv, VariadicCellsMixesTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cells("label", 42, 1.5);
+  const std::string s = out.str();
+  EXPECT_EQ(s.substr(0, 9), "label,42,");
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+TEST(Csv, CountsRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"x"});
+  csv.row({"y"});
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EmptyRowIsJustNewline) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+}  // namespace
+}  // namespace fairswap

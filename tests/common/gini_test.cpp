@@ -1,0 +1,165 @@
+#include "common/gini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fairswap {
+namespace {
+
+TEST(Gini, EmptyInputIsZero) {
+  EXPECT_EQ(gini(std::span<const double>{}), 0.0);
+  EXPECT_EQ(gini_naive(std::span<const double>{}), 0.0);
+}
+
+TEST(Gini, AllEqualValuesGiveZero) {
+  const std::vector<double> v{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(gini(v), 0.0);
+  EXPECT_DOUBLE_EQ(gini_naive(v), 0.0);
+}
+
+TEST(Gini, AllZeroTotalGivesZero) {
+  const std::vector<double> v{0.0, 0.0, 0.0};
+  EXPECT_EQ(gini(v), 0.0);
+}
+
+TEST(Gini, SingleValueIsZero) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(gini(v), 0.0);
+}
+
+TEST(Gini, MaximalInequalityApproachesOne) {
+  // One node holds everything: G = (n-1)/n.
+  const std::vector<double> v{0.0, 0.0, 0.0, 100.0};
+  EXPECT_DOUBLE_EQ(gini(v), 0.75);
+  EXPECT_DOUBLE_EQ(gini_naive(v), 0.75);
+}
+
+TEST(Gini, TwoValueHandComputedExample) {
+  // {1, 3}: sum |vi-vj| over ordered pairs = |1-3| + |3-1| = 4.
+  // Eq. (1): 4 / (2 * 2 * 4) = 0.25.
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(gini_naive(v), 0.25);
+  EXPECT_DOUBLE_EQ(gini(v), 0.25);
+}
+
+TEST(Gini, KnownTextbookExample) {
+  // {1,2,3,4,5}: Gini = 4/15 ≈ 0.2667.
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_NEAR(gini(v), 4.0 / 15.0, 1e-12);
+}
+
+TEST(Gini, IsScaleInvariant) {
+  const std::vector<double> v{1, 5, 9, 14, 20};
+  std::vector<double> scaled;
+  for (double x : v) scaled.push_back(x * 1000.0);
+  EXPECT_NEAR(gini(v), gini(scaled), 1e-12);
+}
+
+TEST(Gini, OrderInvariant) {
+  const std::vector<double> a{9, 1, 5, 20, 14};
+  const std::vector<double> b{1, 5, 9, 14, 20};
+  EXPECT_NEAR(gini(a), gini(b), 1e-12);
+}
+
+TEST(Gini, IntegerOverloadMatchesDouble) {
+  const std::vector<std::uint64_t> counts{10, 20, 30, 40};
+  const std::vector<double> d{10, 20, 30, 40};
+  EXPECT_NEAR(gini(std::span<const std::uint64_t>(counts)),
+              gini(std::span<const double>(d)), 1e-12);
+}
+
+TEST(GiniProperty, SortedFormulaMatchesNaiveOnRandomData) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<double> v(50);
+    for (auto& x : v) x = rng.uniform(0.0, 100.0);
+    EXPECT_NEAR(gini(v), gini_naive(v), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(GiniProperty, AlwaysInUnitInterval) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<double> v(100);
+    for (auto& x : v) x = rng.uniform(0.0, 10.0);
+    const double g = gini(v);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+  }
+}
+
+TEST(GiniProperty, TransferFromRichToPoorDecreasesGini) {
+  // Pigou-Dalton transfer principle.
+  std::vector<double> v{1, 2, 3, 4, 100};
+  const double before = gini(v);
+  v[4] -= 50;
+  v[0] += 50;
+  const double after = gini(v);
+  EXPECT_LT(after, before);
+}
+
+TEST(Lorenz, StartsAtOriginEndsAtOne) {
+  const std::vector<double> v{3, 1, 4, 1, 5};
+  const auto curve = lorenz_curve(v);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().population_share, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().value_share, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().population_share, 1.0);
+  EXPECT_NEAR(curve.back().value_share, 1.0, 1e-12);
+}
+
+TEST(Lorenz, IsMonotoneNonDecreasing) {
+  const std::vector<double> v{8, 2, 5, 13, 1, 1, 0, 21};
+  const auto curve = lorenz_curve(v);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].population_share, curve[i - 1].population_share);
+    EXPECT_GE(curve[i].value_share, curve[i - 1].value_share);
+  }
+}
+
+TEST(Lorenz, IsBelowOrOnDiagonal) {
+  const std::vector<double> v{8, 2, 5, 13, 1, 1, 0, 21};
+  for (const auto& p : lorenz_curve(v)) {
+    EXPECT_LE(p.value_share, p.population_share + 1e-12);
+  }
+}
+
+TEST(Lorenz, PerfectEqualityIsDiagonal) {
+  const std::vector<double> v{2, 2, 2, 2};
+  for (const auto& p : lorenz_curve(v)) {
+    EXPECT_NEAR(p.value_share, p.population_share, 1e-12);
+  }
+}
+
+TEST(Lorenz, DownsamplingBoundsPointCount) {
+  std::vector<double> v(1000);
+  Rng rng(3);
+  for (auto& x : v) x = rng.uniform(0.0, 1.0);
+  const auto curve = lorenz_curve(v, 50);
+  EXPECT_LE(curve.size(), 52u);  // 50 samples + origin (+ final point)
+  EXPECT_DOUBLE_EQ(curve.back().population_share, 1.0);
+}
+
+TEST(Lorenz, EmptyInputDegeneratesToDiagonalEndpoints) {
+  const auto curve = lorenz_curve(std::span<const double>{});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.back().value_share, 1.0);
+}
+
+TEST(Lorenz, GiniFromLorenzMatchesDirectGini) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    std::vector<double> v(500);
+    for (auto& x : v) x = rng.uniform(0.0, 50.0);
+    const auto curve = lorenz_curve(v);
+    // Trapezoidal integration over per-observation points differs from the
+    // exact Gini by O(1/n).
+    EXPECT_NEAR(gini_from_lorenz(curve), gini(v), 5e-3) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fairswap

@@ -1,0 +1,96 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fairswap {
+namespace {
+
+TEST(Histogram, BinBoundariesAreEqualWidth) {
+  const Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.bin_count(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(3), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_right(3), 40.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 35.0);
+}
+
+TEST(Histogram, ValuesLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.9);   // bin 1
+  h.add(4.0);   // bin 2
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdgeBins) {
+  Histogram h(10.0, 20.0, 2);
+  h.add(-100.0);
+  h.add(5.0);
+  h.add(20.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0, 5);
+  h.add(6.0, 3);
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.count(1), 3u);
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(Histogram, TotalIsConserved) {
+  Histogram h(0.0, 1.0, 7);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) * 37.0);
+  EXPECT_EQ(h.total(), 100u);
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, 100u);
+}
+
+TEST(Histogram, AreaIsCountTimesWidth) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 30; ++i) h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.area(), 30.0 * 1.0);
+}
+
+TEST(Histogram, ZeroBinsClampedToOne) {
+  Histogram h(0.0, 10.0, 0);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(Histogram, RenderShowsOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string text = h.render();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(HistogramOf, ChoosesBoundsFromData) {
+  const std::vector<std::uint64_t> v{0, 5, 10, 15, 20};
+  const Histogram h = histogram_of(v, 5);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+  EXPECT_GT(h.hi(), 20.0);
+}
+
+TEST(HistogramOf, AllZerosStillWorks) {
+  const std::vector<std::uint64_t> v{0, 0, 0};
+  const Histogram h = histogram_of(v, 3);
+  EXPECT_EQ(h.count(0), 3u);
+}
+
+}  // namespace
+}  // namespace fairswap

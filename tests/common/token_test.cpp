@@ -1,0 +1,83 @@
+#include "common/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace fairswap {
+namespace {
+
+TEST(Token, DefaultIsZero) {
+  const Token t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.base_units(), 0);
+}
+
+TEST(Token, WholeTokensScale) {
+  EXPECT_EQ(Token::whole(3).base_units(), 3 * Token::kUnitsPerToken);
+  EXPECT_DOUBLE_EQ(Token::whole(3).tokens(), 3.0);
+}
+
+TEST(Token, AdditionAndSubtraction) {
+  const Token a(100);
+  const Token b(40);
+  EXPECT_EQ((a + b).base_units(), 140);
+  EXPECT_EQ((a - b).base_units(), 60);
+  EXPECT_EQ((b - a).base_units(), -60);
+}
+
+TEST(Token, ComparisonOrdering) {
+  EXPECT_LT(Token(1), Token(2));
+  EXPECT_GT(Token(0), Token(-1));
+  EXPECT_EQ(Token(5), Token(5));
+}
+
+TEST(Token, NegationAndAbs) {
+  EXPECT_EQ((-Token(7)).base_units(), -7);
+  EXPECT_EQ(Token(-7).abs().base_units(), 7);
+  EXPECT_EQ(Token(7).abs().base_units(), 7);
+  EXPECT_TRUE(Token(-1).negative());
+  EXPECT_FALSE(Token(1).negative());
+}
+
+TEST(Token, ScalarMultiplication) {
+  EXPECT_EQ((Token(6) * 7).base_units(), 42);
+  EXPECT_EQ((Token(6) * -1).base_units(), -6);
+}
+
+TEST(Token, AdditionSaturatesInsteadOfWrapping) {
+  const Token max(std::numeric_limits<Token::rep>::max());
+  EXPECT_EQ((max + Token(1)).base_units(),
+            std::numeric_limits<Token::rep>::max());
+  const Token min(std::numeric_limits<Token::rep>::min());
+  EXPECT_EQ((min - Token(1)).base_units(),
+            std::numeric_limits<Token::rep>::min());
+}
+
+TEST(Token, MultiplicationSaturates) {
+  const Token big(std::numeric_limits<Token::rep>::max() / 2);
+  EXPECT_EQ((big * 4).base_units(), std::numeric_limits<Token::rep>::max());
+  EXPECT_EQ((big * -4).base_units(), std::numeric_limits<Token::rep>::min());
+}
+
+TEST(Token, NegationOfMinSaturatesToMax) {
+  const Token min(std::numeric_limits<Token::rep>::min());
+  EXPECT_EQ((-min).base_units(), std::numeric_limits<Token::rep>::max());
+}
+
+TEST(Token, ToStringFormatsWholeAndFraction) {
+  EXPECT_EQ(Token::whole(2).to_string(), "2.000000000 FST");
+  EXPECT_EQ(Token(1).to_string(), "0.000000001 FST");
+  EXPECT_EQ(Token(-1).to_string(), "-0.000000001 FST");
+}
+
+TEST(Token, CompoundAssignment) {
+  Token t(10);
+  t += Token(5);
+  EXPECT_EQ(t.base_units(), 15);
+  t -= Token(20);
+  EXPECT_EQ(t.base_units(), -5);
+}
+
+}  // namespace
+}  // namespace fairswap

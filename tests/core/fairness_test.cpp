@@ -1,0 +1,94 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fairswap::core {
+namespace {
+
+TEST(F2, EqualIncomesGiveZeroGini) {
+  const std::vector<double> income{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(gini_f2(income), 0.0);
+}
+
+TEST(F2, SingleEarnerApproachesOne) {
+  // Paper: "for F2 a coefficient of 1 means that only one node receives
+  // rewards" (exactly (n-1)/n for finite n).
+  const std::vector<double> income{0, 0, 0, 0, 100};
+  EXPECT_DOUBLE_EQ(gini_f2(income), 0.8);
+}
+
+TEST(F1, ProportionalRewardsGiveZeroGini) {
+  // Every node serves 3 chunks per paid chunk: perfectly proportional.
+  const std::vector<std::uint64_t> served{30, 60, 90};
+  const std::vector<std::uint64_t> paid{10, 20, 30};
+  EXPECT_DOUBLE_EQ(gini_f1(served, paid), 0.0);
+}
+
+TEST(F1, OmitsNodesWithoutReward) {
+  // Node 2 received no reward; it must not contribute to the statistic
+  // (paper: "omitting the peers that did not receive any reward").
+  const std::vector<std::uint64_t> served{30, 60, 1000};
+  const std::vector<std::uint64_t> paid{10, 20, 0};
+  EXPECT_DOUBLE_EQ(gini_f1(served, paid), 0.0);
+}
+
+TEST(F1, DisproportionGivesPositiveGini) {
+  // One node serves 10x per paid chunk, the other 1x.
+  const std::vector<std::uint64_t> served{100, 10};
+  const std::vector<std::uint64_t> paid{10, 10};
+  EXPECT_GT(gini_f1(served, paid), 0.3);
+}
+
+TEST(F1, AllUnrewardedGiveZero) {
+  const std::vector<std::uint64_t> served{5, 6};
+  const std::vector<std::uint64_t> paid{0, 0};
+  EXPECT_DOUBLE_EQ(gini_f1(served, paid), 0.0);
+}
+
+TEST(ComputeFairness, FullReportConsistency) {
+  const std::vector<std::uint64_t> served{40, 80, 120, 7};
+  const std::vector<std::uint64_t> paid{10, 20, 30, 0};
+  const std::vector<double> income{100, 200, 300, 0};
+  const auto report = compute_fairness({served, paid, income});
+  EXPECT_DOUBLE_EQ(report.gini_f1, 0.0);  // all ratios 4.0
+  EXPECT_GT(report.gini_f2, 0.0);         // incomes unequal
+  EXPECT_EQ(report.rewarded_nodes, 3u);
+  EXPECT_EQ(report.earning_nodes, 3u);
+  // Lorenz curves bracket [0,0] .. [1,1].
+  EXPECT_DOUBLE_EQ(report.lorenz_f2.front().population_share, 0.0);
+  EXPECT_DOUBLE_EQ(report.lorenz_f2.back().population_share, 1.0);
+  EXPECT_DOUBLE_EQ(report.lorenz_f1.back().value_share, 1.0);
+}
+
+TEST(ComputeFairness, F1IncomeVariantTracksTokenIncome) {
+  // served/income constant -> variant Gini 0 even though counts differ.
+  const std::vector<std::uint64_t> served{40, 80};
+  const std::vector<std::uint64_t> paid{1, 1};
+  const std::vector<double> income{400, 800};
+  const auto report = compute_fairness({served, paid, income});
+  EXPECT_NEAR(report.gini_f1_income, 0.0, 1e-12);
+  EXPECT_GT(report.gini_f1, 0.0);  // count-based ratios 40 vs 80
+}
+
+TEST(ComputeFairness, LorenzResolutionHonored) {
+  std::vector<std::uint64_t> served(1000, 1);
+  std::vector<std::uint64_t> paid(1000, 1);
+  std::vector<double> income(1000);
+  for (std::size_t i = 0; i < income.size(); ++i) {
+    income[i] = static_cast<double>(i);
+  }
+  const auto report = compute_fairness({served, paid, income}, 50);
+  EXPECT_LE(report.lorenz_f2.size(), 52u);
+}
+
+TEST(ComputeFairness, EmptyInputsProduceEmptyishReport) {
+  const auto report = compute_fairness({{}, {}, {}});
+  EXPECT_DOUBLE_EQ(report.gini_f1, 0.0);
+  EXPECT_DOUBLE_EQ(report.gini_f2, 0.0);
+  EXPECT_EQ(report.rewarded_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace fairswap::core

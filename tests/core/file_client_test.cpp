@@ -1,0 +1,141 @@
+#include "core/file_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fairswap::core {
+namespace {
+
+overlay::Topology make_topology(std::uint64_t seed = 1) {
+  overlay::TopologyConfig cfg;
+  cfg.node_count = 200;
+  cfg.address_bits = 14;
+  cfg.buckets.k = 4;
+  Rng rng(seed);
+  return overlay::Topology::build(cfg, rng);
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(FileClient, UploadThenDownloadRoundTrips) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(3));
+  FileClient client(sim);
+  const auto data = random_bytes(100'000, 7);
+
+  const UploadReceipt up = client.upload(5, data);
+  EXPECT_EQ(up.chunk_count, storage::total_chunks_for_size(data.size()));
+  EXPECT_GT(up.transmissions, 0u);
+  EXPECT_TRUE(client.has_file(up.root));
+
+  const DownloadReceipt down = client.download(42, up.root);
+  EXPECT_TRUE(down.verified);
+  EXPECT_EQ(down.data, data);
+  EXPECT_GT(down.transmissions, 0u);
+}
+
+TEST(FileClient, EmptyFileRoundTrips) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(4));
+  FileClient client(sim);
+  const UploadReceipt up = client.upload(0, {});
+  const DownloadReceipt down = client.download(1, up.root);
+  EXPECT_TRUE(down.verified);
+  EXPECT_TRUE(down.data.empty());
+  EXPECT_EQ(up.chunk_count, 1u);
+}
+
+TEST(FileClient, UnknownRootFailsCleanly) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(5));
+  FileClient client(sim);
+  storage::Digest bogus{};
+  bogus[0] = 0xff;
+  const DownloadReceipt down = client.download(0, bogus);
+  EXPECT_FALSE(down.verified);
+  EXPECT_TRUE(down.data.empty());
+}
+
+TEST(FileClient, TransfersFlowThroughIncentiveAccounting) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(6));
+  FileClient client(sim);
+  const auto data = random_bytes(50'000, 9);
+  const UploadReceipt up = client.upload(7, data);
+  (void)client.download(120, up.root);
+
+  // Both the upload and the download paid zero-proximity first hops.
+  double total_income = 0;
+  for (const double v : sim.income_per_node()) total_income += v;
+  EXPECT_GT(total_income, 0.0);
+  EXPECT_EQ(sim.totals().upload_files, 1u);
+  EXPECT_EQ(sim.totals().files, 2u);
+}
+
+TEST(FileClient, MultipleFilesCoexist) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(8));
+  FileClient client(sim);
+  const auto a = random_bytes(10'000, 1);
+  const auto b = random_bytes(20'000, 2);
+  const auto ra = client.upload(0, a);
+  const auto rb = client.upload(1, b);
+  EXPECT_NE(storage::to_hex(ra.root), storage::to_hex(rb.root));
+  EXPECT_EQ(client.download(2, ra.root).data, a);
+  EXPECT_EQ(client.download(3, rb.root).data, b);
+}
+
+TEST(FileClient, DuplicateContentDeduplicatesInRegistry) {
+  // Content addressing: uploading identical bytes twice stores the same
+  // chunks under the same addresses.
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(10));
+  FileClient client(sim);
+  const auto data = random_bytes(30'000, 3);
+  const auto r1 = client.upload(0, data);
+  const std::size_t registry_after_first = client.registry_size();
+  const auto r2 = client.upload(9, data);
+  EXPECT_EQ(storage::to_hex(r1.root), storage::to_hex(r2.root));
+  EXPECT_EQ(client.registry_size(), registry_after_first);
+}
+
+TEST(FileClient, PostageStampedUploadFundsThePot) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(11));
+  FileClient client(sim);
+  storage::PostageOffice office;
+  client.set_postage(&office, Token(500));
+
+  const auto data = random_bytes(40'000, 4);  // 10 leaves + 1 root = 11 chunks
+  const UploadReceipt up = client.upload(3, data);
+  ASSERT_TRUE(up.batch.has_value());
+  EXPECT_EQ(up.stamped, up.chunk_count);
+  const storage::Batch* batch = office.find(*up.batch);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->owner, 3u);
+  EXPECT_GE(batch->capacity(), up.chunk_count);  // depth sized to fit
+  EXPECT_LE(batch->capacity(), 2 * up.chunk_count);
+
+  // Draining the batch produces redistribution revenue proportional to
+  // the stamped chunks.
+  const Token revenue = office.tick(Token(500));
+  EXPECT_EQ(revenue, Token(500) * static_cast<Token::rep>(up.stamped));
+}
+
+TEST(FileClient, UploadsWithoutPostageCarryNoBatch) {
+  const auto topo = make_topology();
+  Simulation sim(topo, {}, Rng(12));
+  FileClient client(sim);
+  const auto up = client.upload(0, random_bytes(5000, 5));
+  EXPECT_FALSE(up.batch.has_value());
+  EXPECT_EQ(up.stamped, 0u);
+}
+
+}  // namespace
+}  // namespace fairswap::core

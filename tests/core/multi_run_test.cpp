@@ -1,0 +1,88 @@
+#include "core/multi_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+
+namespace fairswap::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.label = "tiny";
+  cfg.topology.node_count = 120;
+  cfg.topology.address_bits = 12;
+  cfg.topology.buckets.k = 4;
+  cfg.sim.workload.min_chunks_per_file = 10;
+  cfg.sim.workload.max_chunks_per_file = 30;
+  cfg.files = 40;
+  cfg.seed = 100;
+  return cfg;
+}
+
+TEST(MultiRun, AggregatesRequestedSeedCount) {
+  const auto agg = run_seeds(tiny_config(), 4);
+  EXPECT_EQ(agg.runs, 4u);
+  EXPECT_EQ(agg.gini_f2.count(), 4u);
+  EXPECT_EQ(agg.label, "tiny");
+}
+
+TEST(MultiRun, ExplicitSeedListUsed) {
+  const std::vector<std::uint64_t> seeds{5, 6, 7};
+  const auto agg = run_seeds(tiny_config(), seeds);
+  EXPECT_EQ(agg.runs, 3u);
+}
+
+TEST(MultiRun, DifferentSeedsProduceVariance) {
+  const auto agg = run_seeds(tiny_config(), 5);
+  EXPECT_GT(agg.gini_f2.stddev(), 0.0);
+  EXPECT_GT(agg.avg_forwarded.stddev(), 0.0);
+}
+
+TEST(MultiRun, MeanMatchesSingleRunForOneSeed) {
+  auto cfg = tiny_config();
+  const auto single = run_experiment(cfg);
+  const std::vector<std::uint64_t> seeds{cfg.seed};
+  const auto agg = run_seeds(cfg, seeds);
+  EXPECT_DOUBLE_EQ(agg.gini_f2.mean(), single.fairness.gini_f2);
+  EXPECT_DOUBLE_EQ(agg.avg_forwarded.mean(), single.avg_forwarded_chunks);
+  EXPECT_EQ(agg.gini_f2.stddev(), 0.0);
+}
+
+TEST(MultiRun, IsDeterministic) {
+  const auto a = run_seeds(tiny_config(), 3);
+  const auto b = run_seeds(tiny_config(), 3);
+  EXPECT_DOUBLE_EQ(a.gini_f2.mean(), b.gini_f2.mean());
+  EXPECT_DOUBLE_EQ(a.gini_f1.mean(), b.gini_f1.mean());
+}
+
+TEST(MultiRun, KEffectSurvivesErrorBars) {
+  // The paper's headline direction should hold beyond seed noise:
+  // mean Gini(k=20) + sd < mean Gini(k=4) - sd. The network must be large
+  // enough that k=20 tables are still sparse relative to n (in tiny
+  // networks k=20 degenerates to near-full connectivity, where payment
+  // concentrates on storers and the effect inverts).
+  auto base = tiny_config();
+  base.topology.node_count = 400;
+  base.sim.workload.min_chunks_per_file = 50;
+  base.sim.workload.max_chunks_per_file = 150;
+  base.files = 150;
+  auto k4 = base;
+  k4.topology.buckets.k = 4;
+  auto k20 = base;
+  k20.topology.buckets.k = 20;
+  const auto agg4 = run_seeds(k4, 4);
+  const auto agg20 = run_seeds(k20, 4);
+  EXPECT_LT(agg20.gini_f2.mean() + agg20.gini_f2.stddev(),
+            agg4.gini_f2.mean() - agg4.gini_f2.stddev());
+}
+
+TEST(MeanPmStd, FormatsMeanAndDeviation) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(mean_pm_std(s, 1), "2.0 ± 1.0");
+}
+
+}  // namespace
+}  // namespace fairswap::core

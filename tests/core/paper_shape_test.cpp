@@ -1,0 +1,109 @@
+// Shape tests for the paper's headline claims, run on a reduced workload
+// (1000 nodes as in the paper, but 600 files instead of 10k so the suite
+// stays fast). The full-scale numbers are produced by the bench harnesses;
+// these tests pin the *direction* of every reported effect:
+//
+//   1. k=20 routes are shorter -> fewer average forwarded chunks (Table I).
+//   2. k=20 lowers the income Gini (F2, Fig. 5).
+//   3. k=20 lowers the serve/paid-ratio Gini (F1, Fig. 6).
+//   4. Skewed (20%) workloads are less fair than 100% workloads for k=4.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "core/scenarios.hpp"
+
+namespace fairswap::core {
+namespace {
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFiles = 600;
+
+  static const ExperimentResult& result(std::size_t k, double share) {
+    static std::map<std::pair<std::size_t, int>, ExperimentResult> cache;
+    const auto key = std::make_pair(k, static_cast<int>(share * 100));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, run_experiment(paper_config(k, share, kFiles)))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(PaperShape, TableOneLargerKMeansFewerForwardedChunks) {
+  EXPECT_LT(result(20, 0.2).avg_forwarded_chunks,
+            result(4, 0.2).avg_forwarded_chunks);
+  EXPECT_LT(result(20, 1.0).avg_forwarded_chunks,
+            result(4, 1.0).avg_forwarded_chunks);
+}
+
+TEST_F(PaperShape, TableOneRatioRoughlyOnePointFive) {
+  // Paper Table I: 17253/11356 ~= 1.52 (20%) and 16048/10904 ~= 1.47
+  // (100%). Allow a generous band around the k=4/k=20 ratio.
+  const double r20 = result(4, 0.2).avg_forwarded_chunks /
+                     result(20, 0.2).avg_forwarded_chunks;
+  const double r100 = result(4, 1.0).avg_forwarded_chunks /
+                      result(20, 1.0).avg_forwarded_chunks;
+  EXPECT_GT(r20, 1.2);
+  EXPECT_LT(r20, 2.0);
+  EXPECT_GT(r100, 1.2);
+  EXPECT_LT(r100, 2.0);
+}
+
+TEST_F(PaperShape, FigFiveLargerKImprovesF2Fairness) {
+  EXPECT_LT(result(20, 0.2).fairness.gini_f2, result(4, 0.2).fairness.gini_f2);
+  EXPECT_LT(result(20, 1.0).fairness.gini_f2, result(4, 1.0).fairness.gini_f2);
+}
+
+TEST_F(PaperShape, FigSixLargerKImprovesF1Fairness) {
+  EXPECT_LT(result(20, 0.2).fairness.gini_f1, result(4, 0.2).fairness.gini_f1);
+  EXPECT_LT(result(20, 1.0).fairness.gini_f1, result(4, 1.0).fairness.gini_f1);
+}
+
+TEST_F(PaperShape, SkewedWorkloadIsLessFairAtSmallK) {
+  // Paper: "For k = 4, rewards are also distributed even more unevenly
+  // for 20% request originators."
+  EXPECT_GT(result(4, 0.2).fairness.gini_f2, result(4, 1.0).fairness.gini_f2);
+}
+
+TEST_F(PaperShape, MostChunkRequestsSucceed) {
+  for (const auto& r : {result(4, 0.2), result(20, 1.0)}) {
+    EXPECT_GT(r.routing_success, 0.999);
+  }
+}
+
+TEST_F(PaperShape, AverageHopsAreLogarithmicScale) {
+  // ~1000 nodes, 16 buckets: routes average a handful of hops. Table I's
+  // magnitudes imply ~2-3.5 hops per delivered chunk.
+  const auto& r = result(4, 1.0);
+  const double hops_per_chunk =
+      static_cast<double>(r.totals.total_transmissions) /
+      static_cast<double>(r.totals.delivered - r.totals.local_hits);
+  EXPECT_GT(hops_per_chunk, 1.5);
+  EXPECT_LT(hops_per_chunk, 5.0);
+}
+
+TEST_F(PaperShape, OnlyEligibleOriginatorsSpendMoney) {
+  const auto& r = result(4, 0.2);
+  // With 20% originators, at most ~200 nodes ever paid anything.
+  std::size_t spenders = 0;
+  const auto cfg = paper_config(4, 0.2, kFiles);
+  const auto topo = build_topology(cfg);
+  Rng root(cfg.seed);
+  Rng sim_rng = root.split(1);
+  Simulation sim(topo, cfg.sim, sim_rng);
+  sim.run(kFiles);
+  for (const auto& spent : sim.swap().spent()) {
+    if (!spent.is_zero()) ++spenders;
+  }
+  EXPECT_LE(spenders, 200u);
+  EXPECT_GT(spenders, 100u);  // most of the 200 eligible nodes were active
+  (void)r;
+}
+
+}  // namespace
+}  // namespace fairswap::core

@@ -1,0 +1,159 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fairswap::engine {
+namespace {
+
+struct CounterState {
+  int value{0};
+  std::vector<std::string> log;
+};
+using Signals = std::map<std::string, int>;
+using CounterEngine = Engine<CounterState, Signals>;
+
+TEST(Engine, RunsBlocksInOrderEachTimestep) {
+  CounterEngine engine;
+  engine.add_block({.label = "first",
+                    .policies = {},
+                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                      s.log.push_back("a");
+                    }}});
+  engine.add_block({.label = "second",
+                    .policies = {},
+                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                      s.log.push_back("b");
+                    }}});
+  CounterState state;
+  const auto executed = engine.run(state, 2);
+  EXPECT_EQ(executed, 4u);
+  EXPECT_EQ(state.log, (std::vector<std::string>{"a", "b", "a", "b"}));
+}
+
+TEST(Engine, PoliciesFeedSignalsToUpdaters) {
+  CounterEngine engine;
+  engine.add_block(
+      {.label = "add",
+       .policies = {[](const CounterState&, std::uint64_t, Signals& sig) {
+                      sig["delta"] += 2;
+                    },
+                    [](const CounterState&, std::uint64_t, Signals& sig) {
+                      sig["delta"] += 3;  // second policy aggregates
+                    }},
+       .updaters = {[](CounterState& s, const Signals& sig, std::uint64_t) {
+         s.value += sig.at("delta");
+       }}});
+  CounterState state;
+  engine.run(state, 4);
+  EXPECT_EQ(state.value, 20);  // (2+3) per timestep * 4
+}
+
+TEST(Engine, SignalsAreFreshPerBlock) {
+  CounterEngine engine;
+  engine.add_block(
+      {.label = "one",
+       .policies = {[](const CounterState&, std::uint64_t, Signals& sig) {
+         sig["x"] = 1;
+       }},
+       .updaters = {}});
+  engine.add_block(
+      {.label = "two",
+       .policies = {},
+       .updaters = {[](CounterState& s, const Signals& sig, std::uint64_t) {
+         // The previous block's signals must not leak into this block.
+         s.value += sig.count("x") ? 100 : 1;
+       }}});
+  CounterState state;
+  engine.run(state, 3);
+  EXPECT_EQ(state.value, 3);
+}
+
+TEST(Engine, PoliciesSeePreBlockState) {
+  // Both policies in a block observe the same (pre-update) state even if
+  // an updater then changes it.
+  CounterEngine engine;
+  std::vector<int> observed;
+  engine.add_block(
+      {.label = "observe-then-update",
+       .policies = {[&](const CounterState& s, std::uint64_t, Signals&) {
+         observed.push_back(s.value);
+       }},
+       .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+         s.value += 10;
+       }}});
+  CounterState state;
+  engine.run(state, 3);
+  EXPECT_EQ(observed, (std::vector<int>{0, 10, 20}));
+}
+
+TEST(Engine, TimestepsAreOneBased) {
+  CounterEngine engine;
+  std::vector<std::uint64_t> steps;
+  engine.add_block(
+      {.label = "t",
+       .policies = {[&](const CounterState&, std::uint64_t t, Signals&) {
+         steps.push_back(t);
+       }},
+       .updaters = {}});
+  CounterState state;
+  engine.run(state, 3);
+  EXPECT_EQ(steps, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Engine, HooksObserveEveryTimestepAndFinish) {
+  CounterEngine engine;
+  engine.add_block({.label = "inc",
+                    .policies = {},
+                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                      ++s.value;
+                    }}});
+  std::vector<int> snapshots;
+  bool finished = false;
+  Hooks<CounterState> hooks;
+  hooks.on_timestep = [&](const CounterState& s, std::uint64_t) {
+    snapshots.push_back(s.value);
+  };
+  hooks.on_finish = [&](const CounterState& s) {
+    finished = true;
+    EXPECT_EQ(s.value, 3);
+  };
+  CounterState state;
+  engine.run(state, 3, hooks);
+  EXPECT_EQ(snapshots, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(finished);
+}
+
+TEST(Engine, ZeroTimestepsIsNoop) {
+  CounterEngine engine;
+  engine.add_block({.label = "inc",
+                    .policies = {},
+                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                      ++s.value;
+                    }}});
+  CounterState state;
+  EXPECT_EQ(engine.run(state, 0), 0u);
+  EXPECT_EQ(state.value, 0);
+}
+
+TEST(Engine, MultipleUpdatersRunInOrder) {
+  CounterEngine engine;
+  engine.add_block(
+      {.label = "seq",
+       .policies = {},
+       .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                      s.value = s.value * 2 + 1;
+                    },
+                    [](CounterState& s, const Signals&, std::uint64_t) {
+                      s.value *= 10;  // must run after the first
+                    }}});
+  CounterState state;
+  engine.run(state, 1);
+  EXPECT_EQ(state.value, 10);
+}
+
+}  // namespace
+}  // namespace fairswap::engine

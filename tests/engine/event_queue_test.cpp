@@ -1,0 +1,104 @@
+#include "engine/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace fairswap::engine {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&](SimTime) { order.push_back(3); });
+  q.schedule_at(10, [&](SimTime) { order.push_back(1); });
+  q.schedule_at(20, [&](SimTime) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime) {
+  EventQueue q;
+  q.schedule_at(42, [](SimTime now) { EXPECT_EQ(now, 42u); });
+  EXPECT_EQ(q.now(), 0u);
+  q.run_all();
+  EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  SimTime fired_at = 0;
+  q.schedule_at(10, [&](SimTime) {
+    q.schedule_after(5, [&](SimTime now) { fired_at = now; });
+  });
+  q.run_all();
+  EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime fired_at = 999;
+  q.schedule_at(10, [&](SimTime) {
+    q.schedule_at(3, [&](SimTime now) { fired_at = now; });  // in the past
+  });
+  q.run_all();
+  EXPECT_EQ(fired_at, 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(5, [&](SimTime) { fired.push_back(5); });
+  q.schedule_at(10, [&](SimTime) { fired.push_back(10); });
+  q.schedule_at(11, [&](SimTime) { fired.push_back(11); });
+  EXPECT_EQ(q.run_until(10), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{5, 10}));
+  EXPECT_EQ(q.now(), 10u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(100), 0u);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void(SimTime)> tick = [&](SimTime) {
+    if (++chain < 5) q.schedule_after(1, tick);
+  };
+  q.schedule_at(0, tick);
+  EXPECT_EQ(q.run_all(), 5u);
+  EXPECT_EQ(q.now(), 4u);
+}
+
+TEST(EventQueue, PendingCountsScheduledEvents) {
+  EventQueue q;
+  q.schedule_at(1, [](SimTime) {});
+  q.schedule_at(2, [](SimTime) {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_next();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace fairswap::engine

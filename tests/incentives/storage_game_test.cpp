@@ -1,0 +1,188 @@
+#include "incentives/storage_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/gini.hpp"
+#include "common/rng.hpp"
+
+namespace fairswap::incentives {
+namespace {
+
+overlay::Topology make_topology(std::size_t nodes = 200, std::uint64_t seed = 1) {
+  overlay::TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.address_bits = 12;
+  cfg.buckets.k = 4;
+  Rng rng(seed);
+  return overlay::Topology::build(cfg, rng);
+}
+
+StorageGame staked_game(const overlay::Topology& topo, int depth = 3) {
+  StorageGameConfig cfg;
+  cfg.depth = depth;
+  StorageGame game(topo, cfg);
+  for (overlay::NodeIndex n = 0; n < topo.node_count(); ++n) {
+    game.set_stake(n, Token::whole(1));
+  }
+  return game;
+}
+
+TEST(StorageGame, NeighborhoodMembersSharePrefix) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 3;
+  const StorageGame game(topo, cfg);
+  const Address anchor{0b101100000000};
+  for (const auto n : game.neighborhood(anchor)) {
+    EXPECT_GE(topo.space().proximity(topo.address_of(n), anchor), 3);
+  }
+}
+
+TEST(StorageGame, DepthZeroSelectsEveryone) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 0;
+  const StorageGame game(topo, cfg);
+  EXPECT_EQ(game.neighborhood(Address{42}).size(), topo.node_count());
+}
+
+TEST(StorageGame, HonestWinnerIsPaidThePot) {
+  const auto topo = make_topology();
+  auto game = staked_game(topo, 2);
+  Rng rng(3);
+  const RoundResult r = game.play_round(rng);
+  ASSERT_TRUE(r.drawn.has_value());
+  EXPECT_TRUE(r.proof_valid);
+  ASSERT_TRUE(r.paid.has_value());
+  EXPECT_EQ(*r.paid, *r.drawn);
+  EXPECT_EQ(game.rewards()[*r.paid], StorageGameConfig{}.round_pot);
+}
+
+TEST(StorageGame, UnstakedNodesNeverPlay) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 0;
+  StorageGame game(topo, cfg);
+  game.set_stake(7, Token::whole(1));  // only node 7 staked
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const RoundResult r = game.play_round(rng);
+    ASSERT_EQ(r.players.size(), 1u);
+    EXPECT_EQ(r.players[0], 7u);
+  }
+  EXPECT_GT(game.rewards()[7], Token(0));
+}
+
+TEST(StorageGame, EmptyNeighborhoodRollsPotOver) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 12;  // neighborhoods are single addresses: usually empty
+  StorageGame game(topo, cfg);   // nobody staked anyway
+  Rng rng(7);
+  const RoundResult r1 = game.play_round(rng);
+  EXPECT_FALSE(r1.paid.has_value());
+  EXPECT_EQ(game.carried_pot(), cfg.round_pot);
+  const RoundResult r2 = game.play_round(rng);
+  EXPECT_EQ(game.carried_pot(), cfg.round_pot + cfg.round_pot);
+  (void)r2;
+}
+
+TEST(StorageGame, CheaterFailsProofIsSlashedAndPotRollsOver) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 0;  // everyone plays: force the cheater to be drawn
+  cfg.slash_amount = Token(123);
+  StorageGame game(topo, cfg);
+  game.set_stake(9, Token::whole(1));
+  game.set_faithful(9, false);
+  Rng rng(9);
+  const RoundResult r = game.play_round(rng);
+  ASSERT_TRUE(r.drawn.has_value());
+  EXPECT_EQ(*r.drawn, 9u);
+  EXPECT_FALSE(r.proof_valid);
+  EXPECT_FALSE(r.paid.has_value());
+  EXPECT_EQ(game.proofs_failed(), 1u);
+  EXPECT_EQ(game.stake(9), Token::whole(1) - Token(123));
+  EXPECT_EQ(game.carried_pot(), cfg.round_pot);
+}
+
+TEST(StorageGame, PotAccumulatesUntilHonestWin) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 0;
+  StorageGame game(topo, cfg);
+  game.set_stake(1, Token::whole(10));
+  game.set_stake(2, Token(1));
+  game.set_faithful(1, false);  // stake-dominant cheater
+  Rng rng(11);
+  Token paid_total;
+  std::size_t paid_rounds = 0;
+  for (int i = 0; i < 200; ++i) {
+    const RoundResult r = game.play_round(rng);
+    if (r.paid) {
+      ++paid_rounds;
+      paid_total += r.pot;
+      EXPECT_EQ(*r.paid, 2u);  // only the honest node can collect
+    }
+  }
+  ASSERT_GT(paid_rounds, 0u);
+  // Everything ever paid came out of round pots; nothing vanished.
+  EXPECT_EQ(game.rewards()[2], paid_total);
+}
+
+TEST(StorageGame, StakeWeightingBiasesTheDraw) {
+  const auto topo = make_topology();
+  StorageGameConfig cfg;
+  cfg.depth = 0;
+  StorageGame game(topo, cfg);
+  game.set_stake(0, Token::whole(9));
+  game.set_stake(1, Token::whole(1));
+  Rng rng(13);
+  game.play(2000, rng);
+  const double r0 = static_cast<double>(game.rewards()[0].base_units());
+  const double r1 = static_cast<double>(game.rewards()[1].base_units());
+  EXPECT_NEAR(r0 / (r0 + r1), 0.9, 0.05);
+}
+
+TEST(StorageGame, RewardConservation) {
+  const auto topo = make_topology();
+  auto game = staked_game(topo, 2);
+  Rng rng(15);
+  game.play(500, rng);
+  Token total;
+  for (const Token t : game.rewards()) total += t;
+  // paid pots + carried pot == rounds * round_pot.
+  const Token minted = StorageGameConfig{}.round_pot * 500;
+  EXPECT_EQ(total + game.carried_pot(), minted);
+}
+
+TEST(StorageGame, UniformStakesStillYieldSkewedRewards) {
+  // Neighborhood sizes vary with random addresses, so even equal stakes
+  // produce unequal storage income — the F2 story, storage edition.
+  const auto topo = make_topology(300, 17);
+  auto game = staked_game(topo, 4);
+  Rng rng(17);
+  game.play(3000, rng);
+  const auto rewards = game.rewards_double();
+  const double g = gini(std::span<const double>(rewards));
+  EXPECT_GT(g, 0.2);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(StorageGame, DeeperNeighborhoodsConcentrateRewards) {
+  const auto topo = make_topology(300, 19);
+  auto shallow = staked_game(topo, 1);
+  auto deep = staked_game(topo, 6);
+  Rng r1(21);
+  Rng r2(21);
+  shallow.play(2000, r1);
+  deep.play(2000, r2);
+  const auto gs = gini(std::span<const double>(shallow.rewards_double()));
+  const auto gd = gini(std::span<const double>(deep.rewards_double()));
+  // Depth 1: ~half the network plays every round -> income spreads.
+  // Depth 6: tiny neighborhoods; single winners repeat -> concentration.
+  EXPECT_LT(gs, gd);
+}
+
+}  // namespace
+}  // namespace fairswap::incentives

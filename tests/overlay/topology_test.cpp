@@ -1,0 +1,179 @@
+#include "overlay/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace fairswap::overlay {
+namespace {
+
+Topology small_topology(std::size_t nodes = 100, std::size_t k = 4,
+                        std::uint64_t seed = 1, int bits = 12) {
+  TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.address_bits = bits;
+  cfg.buckets.k = k;
+  Rng rng(seed);
+  return Topology::build(cfg, rng);
+}
+
+TEST(Topology, BuildsRequestedNodeCount) {
+  const auto topo = small_topology(100);
+  EXPECT_EQ(topo.node_count(), 100u);
+}
+
+TEST(Topology, AddressesAreUniqueAndInSpace) {
+  const auto topo = small_topology(200);
+  std::set<AddressValue> seen;
+  for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+    const Address a = topo.address_of(i);
+    EXPECT_TRUE(topo.space().contains(a));
+    EXPECT_TRUE(seen.insert(a.v).second) << "duplicate address " << a.v;
+  }
+}
+
+TEST(Topology, IndexOfInvertsAddressOf) {
+  const auto topo = small_topology(50);
+  for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+    EXPECT_EQ(topo.index_of(topo.address_of(i)), i);
+  }
+  EXPECT_FALSE(topo.index_of(Address{4095}).has_value() &&
+               !topo.space().contains(Address{4095}));
+}
+
+TEST(Topology, SameSeedSameTopology) {
+  const auto a = small_topology(80, 4, 7);
+  const auto b = small_topology(80, 4, 7);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeIndex i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.address_of(i), b.address_of(i));
+    EXPECT_EQ(a.table(i).all_peers(), b.table(i).all_peers());
+  }
+}
+
+TEST(Topology, DifferentSeedsDifferentTopology) {
+  const auto a = small_topology(80, 4, 7);
+  const auto b = small_topology(80, 4, 8);
+  bool any_diff = false;
+  for (NodeIndex i = 0; i < a.node_count() && !any_diff; ++i) {
+    any_diff = a.address_of(i) != b.address_of(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Topology, BucketsRespectCapacity) {
+  const auto topo = small_topology(150, 3);
+  for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+    const auto& t = topo.table(i);
+    for (int b = 0; b < t.bucket_count(); ++b) {
+      EXPECT_LE(t.bucket_size(b), 3u);
+    }
+  }
+}
+
+TEST(Topology, BucketsAreFullWhenCandidatesExist) {
+  // With 150 nodes in a 12-bit space, bucket 0 has ~75 candidates; every
+  // node's bucket 0 must be at capacity.
+  const auto topo = small_topology(150, 4);
+  for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+    EXPECT_EQ(topo.table(i).bucket_size(0), 4u);
+  }
+}
+
+TEST(Topology, TablePeersAreActualNodes) {
+  const auto topo = small_topology(100);
+  for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+    for (const Address peer : topo.table(i).all_peers()) {
+      EXPECT_TRUE(topo.index_of(peer).has_value());
+    }
+  }
+}
+
+TEST(Topology, LargerKMeansMoreEdges) {
+  const auto k4 = small_topology(200, 4, 5);
+  const auto k20 = small_topology(200, 20, 5);
+  EXPECT_GT(k20.edge_count(), k4.edge_count());
+}
+
+TEST(Topology, ClosestNodeMatchesBruteForce) {
+  const auto topo = small_topology(120, 4, 3);
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Address target{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    NodeIndex best = 0;
+    for (NodeIndex i = 1; i < topo.node_count(); ++i) {
+      if (xor_distance(topo.address_of(i), target) <
+          xor_distance(topo.address_of(best), target)) {
+        best = i;
+      }
+    }
+    EXPECT_EQ(topo.closest_node(target), best) << "target " << target.v;
+  }
+}
+
+TEST(Topology, ClosestNodeOfANodeAddressIsThatNode) {
+  const auto topo = small_topology(60);
+  for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+    EXPECT_EQ(topo.closest_node(topo.address_of(i)), i);
+  }
+}
+
+TEST(Topology, RejectsZeroNodes) {
+  TopologyConfig cfg;
+  cfg.node_count = 0;
+  Rng rng(1);
+  EXPECT_THROW(Topology::build(cfg, rng), std::invalid_argument);
+}
+
+TEST(Topology, RejectsMoreNodesThanAddresses) {
+  TopologyConfig cfg;
+  cfg.node_count = 300;
+  cfg.address_bits = 8;  // only 256 slots
+  Rng rng(1);
+  EXPECT_THROW(Topology::build(cfg, rng), std::invalid_argument);
+}
+
+TEST(Topology, FullSpaceOccupancyWorks) {
+  TopologyConfig cfg;
+  cfg.node_count = 256;
+  cfg.address_bits = 8;
+  Rng rng(1);
+  const auto topo = Topology::build(cfg, rng);
+  EXPECT_EQ(topo.node_count(), 256u);
+}
+
+TEST(Topology, NeighborhoodConnectAddsNeighbors) {
+  TopologyConfig base;
+  base.node_count = 120;
+  base.address_bits = 12;
+  base.buckets.k = 2;
+  Rng r1(4);
+  const auto plain = Topology::build(base, r1);
+  base.neighborhood_connect = true;
+  Rng r2(4);
+  const auto connected = Topology::build(base, r2);
+  EXPECT_GE(connected.edge_count(), plain.edge_count());
+}
+
+TEST(ClosestNodeIndexTest, SingleNodeAlwaysWins) {
+  const AddressSpace space(8);
+  const std::vector<Address> nodes{Address{77}};
+  const ClosestNodeIndex idx(space, nodes);
+  EXPECT_EQ(idx.closest(Address{0}), (Address{77}));
+  EXPECT_EQ(idx.closest(Address{255}), (Address{77}));
+}
+
+TEST(ClosestNodeIndexTest, HandlesAdversarialNonAdjacentCase) {
+  // Sorted-order adjacency fails for XOR: target 8, nodes {0, 7}.
+  // d(0,8)=8 < d(7,8)=15 although 7 is numerically adjacent to 8.
+  const AddressSpace space(4);
+  const std::vector<Address> nodes{Address{0}, Address{7}};
+  const ClosestNodeIndex idx(space, nodes);
+  EXPECT_EQ(idx.closest(Address{8}), (Address{0}));
+}
+
+}  // namespace
+}  // namespace fairswap::overlay

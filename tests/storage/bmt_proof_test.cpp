@@ -1,0 +1,109 @@
+#include "storage/bmt_proof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "storage/bmt.hpp"
+
+namespace fairswap::storage {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(BmtProof, ValidProofVerifies) {
+  const auto payload = random_payload(kChunkSize, 1);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  const BmtProof proof = bmt_prove(payload, payload.size(), 17);
+  EXPECT_TRUE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, EverySegmentIndexProves) {
+  const auto payload = random_payload(kChunkSize, 2);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  for (std::size_t seg = 0; seg < kBranches; ++seg) {
+    EXPECT_TRUE(bmt_verify(address, bmt_prove(payload, payload.size(), seg)))
+        << "segment " << seg;
+  }
+}
+
+TEST(BmtProof, ProofHasExactlySevenSiblings) {
+  const auto payload = random_payload(100, 3);
+  const BmtProof proof = bmt_prove(payload, 100, 0);
+  EXPECT_EQ(proof.siblings.size(), kBmtProofDepth);
+}
+
+TEST(BmtProof, PartialChunkZeroPaddedSegmentsProve) {
+  // A 100-byte payload covers segments 0..3 (bytes 96..99 spill into
+  // segment 3); segment 4 is entirely padding, yet provable.
+  const auto payload = random_payload(100, 4);
+  const Digest address = bmt_chunk_address(payload, 100);
+  const BmtProof proof = bmt_prove(payload, 100, 4);
+  EXPECT_EQ(proof.segment, (std::array<std::uint8_t, kRefSize>{}));
+  EXPECT_TRUE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, TamperedSegmentFails) {
+  const auto payload = random_payload(kChunkSize, 5);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  BmtProof proof = bmt_prove(payload, payload.size(), 9);
+  proof.segment[0] ^= 1;
+  EXPECT_FALSE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, WrongIndexFails) {
+  const auto payload = random_payload(kChunkSize, 6);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  BmtProof proof = bmt_prove(payload, payload.size(), 9);
+  proof.segment_index = 10;  // claim the same data sits elsewhere
+  EXPECT_FALSE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, WrongSpanFails) {
+  const auto payload = random_payload(kChunkSize, 7);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  BmtProof proof = bmt_prove(payload, payload.size(), 9);
+  proof.span += 1;
+  EXPECT_FALSE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, TamperedSiblingFails) {
+  const auto payload = random_payload(kChunkSize, 8);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  BmtProof proof = bmt_prove(payload, payload.size(), 64);
+  proof.siblings[3][5] ^= 0x80;
+  EXPECT_FALSE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, TruncatedSiblingPathFails) {
+  const auto payload = random_payload(kChunkSize, 9);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  BmtProof proof = bmt_prove(payload, payload.size(), 64);
+  proof.siblings.pop_back();
+  EXPECT_FALSE(bmt_verify(address, proof));
+}
+
+TEST(BmtProof, ProofAgainstDifferentChunkFails) {
+  const auto a = random_payload(kChunkSize, 10);
+  const auto b = random_payload(kChunkSize, 11);
+  const Digest address_b = bmt_chunk_address(b, b.size());
+  const BmtProof proof_a = bmt_prove(a, a.size(), 0);
+  EXPECT_FALSE(bmt_verify(address_b, proof_a));
+}
+
+TEST(BmtProof, OutOfRangeIndexRejectedByVerifier) {
+  const auto payload = random_payload(kChunkSize, 12);
+  const Digest address = bmt_chunk_address(payload, payload.size());
+  BmtProof proof = bmt_prove(payload, payload.size(), 0);
+  proof.segment_index = kBranches;  // 128: out of range
+  EXPECT_FALSE(bmt_verify(address, proof));
+}
+
+}  // namespace
+}  // namespace fairswap::storage

@@ -1,0 +1,112 @@
+#include "storage/bmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/chunk.hpp"
+
+namespace fairswap::storage {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(Bmt, RootIsDeterministic) {
+  const auto payload = bytes({1, 2, 3, 4});
+  EXPECT_EQ(bmt_root(payload), bmt_root(payload));
+}
+
+TEST(Bmt, TrailingZerosDoNotChangeRoot) {
+  // BMT zero-pads to 4096 bytes, so explicit trailing zeros are invisible
+  // to the tree — only the span distinguishes them.
+  const auto a = bytes({9, 8, 7});
+  auto b = a;
+  b.push_back(0);
+  b.push_back(0);
+  EXPECT_EQ(bmt_root(a), bmt_root(b));
+  EXPECT_NE(bmt_chunk_address(a, a.size()), bmt_chunk_address(b, b.size()));
+}
+
+TEST(Bmt, EmptyPayloadEqualsAllZeros) {
+  const std::vector<std::uint8_t> empty;
+  const std::vector<std::uint8_t> zeros(kChunkSize, 0);
+  EXPECT_EQ(bmt_root(empty), bmt_root(zeros));
+}
+
+TEST(Bmt, DifferentPayloadsDifferentRoots) {
+  EXPECT_NE(bmt_root(bytes({1})), bmt_root(bytes({2})));
+}
+
+TEST(Bmt, SegmentPositionMatters) {
+  // Same bytes in different segments must hash differently.
+  std::vector<std::uint8_t> a(kChunkSize, 0);
+  std::vector<std::uint8_t> b(kChunkSize, 0);
+  a[0] = 0xff;          // segment 0
+  b[kRefSize] = 0xff;   // segment 1
+  EXPECT_NE(bmt_root(a), bmt_root(b));
+}
+
+TEST(Bmt, SpanKeysTheAddress) {
+  const auto payload = bytes({1, 2, 3});
+  EXPECT_NE(bmt_chunk_address(payload, 3), bmt_chunk_address(payload, 4096));
+}
+
+TEST(Bmt, AddressDiffersFromRoot) {
+  // The chunk address hashes span || root; it must not equal the bare root.
+  const auto payload = bytes({5, 5, 5});
+  EXPECT_NE(bmt_chunk_address(payload, 3), bmt_root(payload));
+}
+
+TEST(Bmt, FullChunkHashes) {
+  std::vector<std::uint8_t> payload(kChunkSize);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const Digest d = bmt_chunk_address(payload, payload.size());
+  // Not degenerate, and sensitive to the last byte of a full chunk.
+  EXPECT_NE(d, Digest{});
+  auto mutated = payload;
+  mutated.back() ^= 1;
+  EXPECT_NE(bmt_chunk_address(mutated, mutated.size()), d);
+}
+
+TEST(Chunk, DataChunkSpanEqualsSize) {
+  const Chunk c = Chunk::data_chunk(bytes({1, 2, 3, 4, 5}));
+  EXPECT_EQ(c.span(), 5u);
+  EXPECT_EQ(c.size(), 5u);
+}
+
+TEST(Chunk, AddressIsCachedAndStable) {
+  const Chunk c = Chunk::data_chunk(bytes({1, 2, 3}));
+  const Digest first = c.address();
+  EXPECT_EQ(c.address(), first);
+  EXPECT_EQ(c.address(), bmt_chunk_address(c.payload(), c.span()));
+}
+
+TEST(Chunk, OverlayAddressUsesTopBits) {
+  const Chunk c = Chunk::data_chunk(bytes({42}));
+  const AddressSpace space16(16);
+  const AddressSpace space8(8);
+  const Address a16 = c.overlay_address(space16);
+  const Address a8 = c.overlay_address(space8);
+  EXPECT_TRUE(space16.contains(a16));
+  EXPECT_TRUE(space8.contains(a8));
+  // The 8-bit projection must be the top half of the 16-bit projection.
+  EXPECT_EQ(a8.v, a16.v >> 8);
+}
+
+TEST(DigestToOverlay, BigEndianTopBits) {
+  Digest d{};
+  d[0] = 0xAB;
+  d[1] = 0xCD;
+  EXPECT_EQ(digest_to_overlay(d, AddressSpace(16)).v, 0xABCDu);
+  EXPECT_EQ(digest_to_overlay(d, AddressSpace(8)).v, 0xABu);
+  EXPECT_EQ(digest_to_overlay(d, AddressSpace(4)).v, 0xAu);
+}
+
+}  // namespace
+}  // namespace fairswap::storage

@@ -1,0 +1,120 @@
+#include "storage/chunker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fairswap::storage {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(Chunker, EmptyDataYieldsSingleEmptyChunk) {
+  const ChunkTree tree = chunk_data({});
+  EXPECT_EQ(tree.leaf_count, 1u);
+  EXPECT_EQ(tree.chunks.size(), 1u);
+  EXPECT_EQ(tree.depth, 1u);
+  EXPECT_EQ(tree.chunks[0].span(), 0u);
+}
+
+TEST(Chunker, SingleChunkFile) {
+  const auto data = random_bytes(1000, 1);
+  const ChunkTree tree = chunk_data(data);
+  EXPECT_EQ(tree.leaf_count, 1u);
+  EXPECT_EQ(tree.chunks.size(), 1u);
+  EXPECT_EQ(tree.root, tree.chunks[0].address());
+}
+
+TEST(Chunker, ExactChunkBoundary) {
+  const auto data = random_bytes(kChunkSize, 2);
+  const ChunkTree tree = chunk_data(data);
+  EXPECT_EQ(tree.leaf_count, 1u);
+  EXPECT_EQ(tree.chunks[0].span(), kChunkSize);
+}
+
+TEST(Chunker, OneByteOverBoundaryAddsLeafAndParent) {
+  const auto data = random_bytes(kChunkSize + 1, 3);
+  const ChunkTree tree = chunk_data(data);
+  EXPECT_EQ(tree.leaf_count, 2u);
+  EXPECT_EQ(tree.chunks.size(), 3u);  // 2 leaves + 1 root
+  EXPECT_EQ(tree.depth, 2u);
+  EXPECT_EQ(tree.chunks[1].span(), 1u);       // second leaf holds 1 byte
+  EXPECT_EQ(tree.chunks[2].span(), kChunkSize + 1);  // root spans all
+}
+
+TEST(Chunker, LeafCountFormulaMatches) {
+  for (std::uint64_t size :
+       {0ull, 1ull, 4095ull, 4096ull, 4097ull, 100'000ull, 1'000'000ull}) {
+    const auto data = random_bytes(static_cast<std::size_t>(size), size + 7);
+    const ChunkTree tree = chunk_data(data);
+    EXPECT_EQ(tree.leaf_count, leaf_chunks_for_size(size)) << size;
+    EXPECT_EQ(tree.chunks.size(), total_chunks_for_size(size)) << size;
+  }
+}
+
+TEST(Chunker, TotalChunksIncludesIntermediateLevels) {
+  // 129 leaves -> 2 intermediate + 1 root.
+  const std::uint64_t size = kChunkSize * 129;
+  EXPECT_EQ(leaf_chunks_for_size(size), 129u);
+  EXPECT_EQ(total_chunks_for_size(size), 129u + 2 + 1);
+}
+
+TEST(Chunker, RootSpanEqualsFileSize) {
+  const auto data = random_bytes(50'000, 4);
+  const ChunkTree tree = chunk_data(data);
+  EXPECT_EQ(tree.chunks.back().span(), 50'000u);
+}
+
+TEST(Chunker, ReassembleRoundTrips) {
+  for (std::size_t size : {0u, 1u, 4096u, 5000u, 100'000u}) {
+    const auto data = random_bytes(size, size + 11);
+    const ChunkTree tree = chunk_data(data);
+    EXPECT_EQ(reassemble(tree), data) << "size " << size;
+  }
+}
+
+TEST(Chunker, RootAddressIsContentSensitive) {
+  auto data = random_bytes(10'000, 5);
+  const ChunkTree a = chunk_data(data);
+  data[9'999] ^= 1;
+  const ChunkTree b = chunk_data(data);
+  EXPECT_NE(a.root, b.root);
+}
+
+TEST(Chunker, RootAddressIsDeterministic) {
+  const auto data = random_bytes(10'000, 6);
+  EXPECT_EQ(chunk_data(data).root, chunk_data(data).root);
+}
+
+TEST(Chunker, IntermediateChunkHoldsChildReferences) {
+  const auto data = random_bytes(kChunkSize * 3, 7);
+  const ChunkTree tree = chunk_data(data);
+  ASSERT_EQ(tree.chunks.size(), 4u);
+  const Chunk& root = tree.chunks.back();
+  EXPECT_EQ(root.size(), 3 * kRefSize);
+  // The root payload must contain the three leaf addresses in order.
+  for (std::size_t leaf = 0; leaf < 3; ++leaf) {
+    const Digest& ref = tree.chunks[leaf].address();
+    const auto payload = root.payload();
+    EXPECT_TRUE(std::equal(ref.begin(), ref.end(),
+                           payload.begin() + static_cast<std::ptrdiff_t>(
+                                                 leaf * kRefSize)));
+  }
+}
+
+TEST(Chunker, PaperChunkCountRangeMapsToFileSizes) {
+  // The paper's workload requests 100..1000 chunks per file, i.e. files
+  // of ~400KB..4MB.
+  EXPECT_EQ(leaf_chunks_for_size(100 * kChunkSize), 100u);
+  EXPECT_EQ(leaf_chunks_for_size(1000 * kChunkSize), 1000u);
+}
+
+}  // namespace
+}  // namespace fairswap::storage

@@ -1,0 +1,98 @@
+#include "storage/keccak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+#include <vector>
+
+namespace fairswap::storage {
+namespace {
+
+TEST(Keccak256, EmptyStringVector) {
+  // The canonical Ethereum Keccak-256 empty-input digest.
+  EXPECT_EQ(to_hex(keccak256(std::string{})),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256, AbcVector) {
+  EXPECT_EQ(to_hex(keccak256(std::string{"abc"})),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, QuickBrownFoxVector) {
+  EXPECT_EQ(to_hex(keccak256(
+                std::string{"The quick brown fox jumps over the lazy dog"})),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15");
+}
+
+TEST(Keccak256, HelloVector) {
+  // keccak256("hello"), as widely cited in Solidity documentation.
+  EXPECT_EQ(to_hex(keccak256(std::string{"hello"})),
+            "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8");
+}
+
+TEST(Keccak256, IncrementalMatchesOneShot) {
+  const std::string data = "incremental absorption must match one-shot hashing";
+  Keccak256 h;
+  for (char c : data) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    h.update(&byte, 1);
+  }
+  EXPECT_EQ(h.finalize(), keccak256(data));
+}
+
+TEST(Keccak256, RateBoundaryInputs) {
+  // 135/136/137 bytes straddle the 1088-bit rate boundary; incremental
+  // and one-shot must agree at every length.
+  for (std::size_t len : {135u, 136u, 137u, 271u, 272u, 273u}) {
+    std::vector<std::uint8_t> data(len);
+    for (std::size_t i = 0; i < len; ++i) data[i] = static_cast<std::uint8_t>(i);
+    Keccak256 h;
+    h.update(std::span<const std::uint8_t>(data.data(), len / 2));
+    h.update(std::span<const std::uint8_t>(data.data() + len / 2, len - len / 2));
+    EXPECT_EQ(h.finalize(), keccak256(data)) << "len " << len;
+  }
+}
+
+TEST(Keccak256, ResetRestoresInitialState) {
+  Keccak256 h;
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>("garbage"), 7));
+  h.reset();
+  EXPECT_EQ(to_hex(h.finalize()),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256, DifferentInputsDifferentDigests) {
+  EXPECT_NE(keccak256(std::string{"a"}), keccak256(std::string{"b"}));
+  EXPECT_NE(keccak256(std::string{"ab"}), keccak256(std::string{"ba"}));
+}
+
+TEST(Keccak256, AvalancheSingleBitFlip) {
+  std::vector<std::uint8_t> a(64, 0);
+  std::vector<std::uint8_t> b = a;
+  b[10] ^= 1;
+  const Digest da = keccak256(a);
+  const Digest db = keccak256(b);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(da[i] ^ db[i]));
+  }
+  // Expected ~128 of 256 bits flip; allow a generous band.
+  EXPECT_GT(differing_bits, 80);
+  EXPECT_LT(differing_bits, 176);
+}
+
+TEST(ToHex, FormatsAllBytes) {
+  Digest d{};
+  d[0] = 0xab;
+  d[31] = 0x01;
+  const std::string hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 2), "ab");
+  EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+}  // namespace
+}  // namespace fairswap::storage

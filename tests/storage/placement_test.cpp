@@ -1,0 +1,92 @@
+#include "storage/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/gini.hpp"
+#include "common/rng.hpp"
+
+namespace fairswap::storage {
+namespace {
+
+overlay::Topology make_topology(std::size_t nodes, std::uint64_t seed) {
+  overlay::TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.address_bits = 12;
+  cfg.buckets.k = 4;
+  Rng rng(seed);
+  return overlay::Topology::build(cfg, rng);
+}
+
+TEST(Placement, PrimaryIsGloballyClosest) {
+  const auto topo = make_topology(100, 1);
+  const Placement p(topo, {});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Address chunk{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    EXPECT_EQ(p.primary(chunk), topo.closest_node(chunk));
+  }
+}
+
+TEST(Placement, StorersSortedByDistanceAndSized) {
+  const auto topo = make_topology(100, 2);
+  const Placement p(topo, {.redundancy = 4});
+  const Address chunk{1234};
+  const auto storers = p.storers(chunk);
+  ASSERT_EQ(storers.size(), 4u);
+  EXPECT_EQ(storers[0], p.primary(chunk));
+  for (std::size_t i = 1; i < storers.size(); ++i) {
+    EXPECT_LT(xor_distance(topo.address_of(storers[i - 1]), chunk),
+              xor_distance(topo.address_of(storers[i]), chunk));
+  }
+}
+
+TEST(Placement, RedundancyCappedAtNodeCount) {
+  const auto topo = make_topology(5, 3);
+  const Placement p(topo, {.redundancy = 50});
+  EXPECT_EQ(p.storers(Address{10}).size(), 5u);
+}
+
+TEST(Placement, IsStorerConsistentWithStorers) {
+  const auto topo = make_topology(60, 4);
+  const Placement p(topo, {.redundancy = 3});
+  const Address chunk{999};
+  const auto storers = p.storers(chunk);
+  for (overlay::NodeIndex n = 0; n < topo.node_count(); ++n) {
+    const bool expected =
+        std::find(storers.begin(), storers.end(), n) != storers.end();
+    EXPECT_EQ(p.is_storer(n, chunk), expected);
+  }
+}
+
+TEST(Placement, SingleRedundancyFastPath) {
+  const auto topo = make_topology(60, 5);
+  const Placement p(topo, {.redundancy = 1});
+  const Address chunk{777};
+  EXPECT_TRUE(p.is_storer(p.primary(chunk), chunk));
+  EXPECT_FALSE(p.is_storer((p.primary(chunk) + 1) % 60, chunk));
+}
+
+TEST(Placement, LoadCensusCoversWholeSpace) {
+  const auto topo = make_topology(50, 6);
+  const Placement p(topo, {});
+  const auto load = p.primary_load_census();
+  const auto total = std::accumulate(load.begin(), load.end(), std::uint64_t{0});
+  EXPECT_EQ(total, topo.space().size());
+}
+
+TEST(Placement, LoadCensusShowsSkew) {
+  // Closest-node placement is well known to be skewed: with random node
+  // ids, responsibility regions differ in size, so the census Gini must
+  // be clearly above zero (this skew is one root cause of reward
+  // inequality in the paper).
+  const auto topo = make_topology(50, 7);
+  const Placement p(topo, {});
+  const auto load = p.primary_load_census();
+  EXPECT_GT(gini(std::span<const std::uint64_t>(load)), 0.1);
+}
+
+}  // namespace
+}  // namespace fairswap::storage

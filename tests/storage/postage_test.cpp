@@ -1,0 +1,124 @@
+#include "storage/postage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairswap::storage {
+namespace {
+
+TEST(Postage, BuyBatchRecordsPurchase) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(7, 4, Token(10));
+  const Batch* batch = office.find(id);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->owner, 7u);
+  EXPECT_EQ(batch->capacity(), 16u);
+  EXPECT_EQ(office.total_purchased(), Token(160));  // 16 slots * 10
+  EXPECT_EQ(office.batch_count(), 1u);
+}
+
+TEST(Postage, StampConsumesSlotsUntilExhausted) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 2, Token(5));  // 4 slots
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto stamp = office.stamp(id, Address{static_cast<AddressValue>(i)});
+    ASSERT_TRUE(stamp.has_value()) << i;
+    EXPECT_EQ(stamp->index, i);
+  }
+  EXPECT_FALSE(office.stamp(id, Address{99}).has_value());
+  EXPECT_TRUE(office.find(id)->exhausted());
+}
+
+TEST(Postage, UnknownBatchCannotStamp) {
+  PostageOffice office;
+  EXPECT_FALSE(office.stamp(3, Address{1}).has_value());
+}
+
+TEST(Postage, StampValidityChecks) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 4, Token(5));
+  const auto stamp = office.stamp(id, Address{42});
+  ASSERT_TRUE(stamp.has_value());
+  EXPECT_TRUE(office.valid(*stamp));
+
+  Stamp forged = *stamp;
+  forged.index = 500;  // never issued
+  EXPECT_FALSE(office.valid(forged));
+  forged = *stamp;
+  forged.batch = 9;  // unknown batch
+  EXPECT_FALSE(office.valid(forged));
+}
+
+TEST(Postage, TickDrainsProportionallyToStampedChunks) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 4, Token(10));
+  (void)office.stamp(id, Address{1});
+  (void)office.stamp(id, Address{2});
+  (void)office.stamp(id, Address{3});
+  const Token collected = office.tick(Token(2));
+  EXPECT_EQ(collected, Token(6));  // 2 per chunk * 3 stamped chunks
+  EXPECT_EQ(office.find(id)->remaining_value, Token(8));
+  EXPECT_EQ(office.pot(), Token(6));
+}
+
+TEST(Postage, EmptyBatchesDoNotDrain) {
+  PostageOffice office;
+  (void)office.buy_batch(0, 4, Token(10));  // nothing stamped
+  EXPECT_EQ(office.tick(Token(2)), Token(0));
+}
+
+TEST(Postage, ExpiryStopsStampingAndValidity) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 4, Token(3));
+  const auto stamp = office.stamp(id, Address{1});
+  ASSERT_TRUE(stamp.has_value());
+  office.tick(Token(3));  // drains to zero -> expired
+  EXPECT_TRUE(office.find(id)->expired());
+  EXPECT_FALSE(office.stamp(id, Address{2}).has_value());
+  EXPECT_FALSE(office.valid(*stamp));
+}
+
+TEST(Postage, DrainClampsAtRemainingValue) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 4, Token(5));
+  (void)office.stamp(id, Address{1});
+  const Token collected = office.tick(Token(100));
+  EXPECT_EQ(collected, Token(5));  // only what was left
+  EXPECT_TRUE(office.find(id)->expired());
+}
+
+TEST(Postage, CollectPotResets) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 4, Token(10));
+  (void)office.stamp(id, Address{1});
+  office.tick(Token(4));
+  EXPECT_EQ(office.collect_pot(), Token(4));
+  EXPECT_EQ(office.pot(), Token(0));
+  EXPECT_EQ(office.collect_pot(), Token(0));
+}
+
+TEST(Postage, MultipleBatchesDrainIndependently) {
+  PostageOffice office;
+  const BatchId a = office.buy_batch(0, 4, Token(10));
+  const BatchId b = office.buy_batch(1, 4, Token(2));
+  (void)office.stamp(a, Address{1});
+  (void)office.stamp(b, Address{2});
+  office.tick(Token(5));
+  EXPECT_EQ(office.find(a)->remaining_value, Token(5));
+  EXPECT_TRUE(office.find(b)->expired());
+  EXPECT_EQ(office.pot(), Token(5 + 2));
+}
+
+TEST(Postage, RevenueNeverExceedsPurchases) {
+  PostageOffice office;
+  const BatchId id = office.buy_batch(0, 3, Token(7));  // 8 slots * 7 = 56
+  for (int i = 0; i < 8; ++i) {
+    (void)office.stamp(id, Address{static_cast<AddressValue>(i)});
+  }
+  Token total;
+  for (int t = 0; t < 100; ++t) total += office.tick(Token(1));
+  EXPECT_EQ(total, Token(56));
+  EXPECT_LE(total, office.total_purchased());
+}
+
+}  // namespace
+}  // namespace fairswap::storage
