@@ -1,32 +1,93 @@
 #include "core/multi_run.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/task_pool.hpp"
 
 namespace fairswap::core {
 
-AggregateResult run_seeds(const ExperimentConfig& base,
-                          std::span<const std::uint64_t> seeds) {
+namespace {
+
+/// The five scalars run_seeds aggregates, extracted from one seed's run.
+/// Workers fill these independently; the caller folds them in seed order.
+struct SeedStats {
+  double gini_f2{0.0};
+  double gini_f1{0.0};
+  double avg_forwarded{0.0};
+  double routing_success{0.0};
+  double total_income{0.0};
+};
+
+SeedStats run_one_seed(const ExperimentConfig& base, std::uint64_t seed) {
+  ExperimentConfig cfg = base;
+  cfg.seed = seed;
+  const ExperimentResult r = run_experiment(cfg);
+  return SeedStats{r.fairness.gini_f2, r.fairness.gini_f1,
+                   r.avg_forwarded_chunks, r.routing_success, r.total_income};
+}
+
+/// Folds per-seed stats into the aggregate. Always called on one thread in
+/// seed-list order, which is what makes serial and parallel runs
+/// bit-identical: the RunningStats add() sequence is the same either way.
+AggregateResult fold(const ExperimentConfig& base,
+                     const std::vector<SeedStats>& per_seed) {
   AggregateResult agg;
   agg.label = base.label;
-  for (const std::uint64_t seed : seeds) {
-    ExperimentConfig cfg = base;
-    cfg.seed = seed;
-    const ExperimentResult r = run_experiment(cfg);
-    agg.gini_f2.add(r.fairness.gini_f2);
-    agg.gini_f1.add(r.fairness.gini_f1);
-    agg.avg_forwarded.add(r.avg_forwarded_chunks);
-    agg.routing_success.add(r.routing_success);
-    agg.total_income.add(r.total_income);
+  for (const SeedStats& s : per_seed) {
+    agg.gini_f2.add(s.gini_f2);
+    agg.gini_f1.add(s.gini_f1);
+    agg.avg_forwarded.add(s.avg_forwarded);
+    agg.routing_success.add(s.routing_success);
+    agg.total_income.add(s.total_income);
     ++agg.runs;
   }
   return agg;
+}
+
+}  // namespace
+
+AggregateResult run_seeds(const ExperimentConfig& base,
+                          std::span<const std::uint64_t> seeds) {
+  std::vector<SeedStats> per_seed;
+  per_seed.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    per_seed.push_back(run_one_seed(base, seed));
+  }
+  return fold(base, per_seed);
 }
 
 AggregateResult run_seeds(const ExperimentConfig& base, std::size_t count) {
   std::vector<std::uint64_t> seeds(count);
   std::iota(seeds.begin(), seeds.end(), base.seed);
   return run_seeds(base, seeds);
+}
+
+AggregateResult run_seeds(const ExperimentConfig& base,
+                          std::span<const std::uint64_t> seeds,
+                          std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, seeds.size()));
+  if (threads <= 1 || seeds.size() <= 1) return run_seeds(base, seeds);
+
+  std::vector<SeedStats> per_seed(seeds.size());
+  TaskPool pool(threads);
+  pool.parallel_for(seeds.size(), [&](std::size_t i) {
+    per_seed[i] = run_one_seed(base, seeds[i]);
+  });
+  return fold(base, per_seed);
+}
+
+AggregateResult run_seeds(const ExperimentConfig& base, std::size_t count,
+                          std::size_t threads) {
+  std::vector<std::uint64_t> seeds(count);
+  std::iota(seeds.begin(), seeds.end(), base.seed);
+  return run_seeds(base, seeds, threads);
 }
 
 std::string mean_pm_std(const RunningStats& stats, int precision) {

@@ -37,6 +37,20 @@ struct AggregateResult {
 [[nodiscard]] AggregateResult run_seeds(const ExperimentConfig& base,
                                         std::size_t count);
 
+/// Parallel variant: fans the seeds out across `threads` workers
+/// (0 = std::thread::hardware_concurrency). Each seed gets its own
+/// ExperimentConfig copy — and therefore its own Rng stream inside
+/// run_experiment — and the per-seed statistics are folded into the
+/// aggregate in seed-list order on the calling thread, so the result is
+/// bit-identical to the serial overload for any thread count.
+[[nodiscard]] AggregateResult run_seeds(const ExperimentConfig& base,
+                                        std::span<const std::uint64_t> seeds,
+                                        std::size_t threads);
+
+/// Parallel variant of the counted overload.
+[[nodiscard]] AggregateResult run_seeds(const ExperimentConfig& base,
+                                        std::size_t count, std::size_t threads);
+
 /// "mean ± stddev" rendering helper.
 [[nodiscard]] std::string mean_pm_std(const RunningStats& stats, int precision = 4);
 

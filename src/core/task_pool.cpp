@@ -1,0 +1,104 @@
+#include "core/task_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fairswap::core {
+
+TaskPool::TaskPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::parallel_for(std::size_t count,
+                            const std::function<void(std::size_t)>& fn,
+                            std::size_t grain) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  if (workers_.empty()) {
+    // Serial pool: same drain-then-rethrow semantics, no synchronization.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  drain_current_job();  // the caller is a worker too
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain_current_job();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void TaskPool::drain_current_job() {
+  for (;;) {
+    const std::size_t begin = next_.fetch_add(grain_, std::memory_order_relaxed);
+    if (begin >= count_) return;
+    const std::size_t end = std::min(begin + grain_, count_);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+}  // namespace fairswap::core

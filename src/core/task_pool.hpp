@@ -1,0 +1,68 @@
+// A small reusable worker pool for fan-out over an index range.
+//
+// The paper notes its tooling "allows us to collect data from runs on
+// multiple machines into a single simulation"; TaskPool is the single-machine
+// analogue. Workers pull indices from a shared atomic counter (chunked
+// self-scheduling), so an expensive seed on one worker does not stall the
+// rest — the cheap seeds are stolen by whoever is idle.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fairswap::core {
+
+/// Fixed-size worker pool. `parallel_for` blocks the caller, which also
+/// participates in the work, so a pool of size 1 degenerates to a plain
+/// serial loop with no thread traffic at all.
+class TaskPool {
+ public:
+  /// `threads` is the total parallelism (caller included). 0 means
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit TaskPool(std::size_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total parallelism: background workers + the calling thread.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, count), distributing indices across the
+  /// pool in chunks of `grain`. Blocks until all indices completed. If any
+  /// invocation throws, the first exception is rethrown on the caller
+  /// after the loop drains (remaining indices still run).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  void worker_loop();
+  void drain_current_job();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   // workers wait for a new job / stop
+  std::condition_variable done_cv_;   // caller waits for workers to finish
+  bool stop_{false};
+  std::uint64_t generation_{0};       // bumped once per parallel_for
+  std::size_t active_workers_{0};     // workers still inside the current job
+
+  // Current job; written under mutex_ before workers are woken.
+  const std::function<void(std::size_t)>* fn_{nullptr};
+  std::size_t count_{0};
+  std::size_t grain_{1};
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace fairswap::core

@@ -77,6 +77,62 @@ TEST(MultiRun, KEffectSurvivesErrorBars) {
             agg4.gini_f2.mean() - agg4.gini_f2.stddev());
 }
 
+// Serial and parallel overloads must agree bit-for-bit, since the per-seed
+// runs are independent and the fold order is fixed to seed-list order.
+void expect_identical(const AggregateResult& a, const AggregateResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_DOUBLE_EQ(a.gini_f2.mean(), b.gini_f2.mean());
+  EXPECT_DOUBLE_EQ(a.gini_f2.stddev(), b.gini_f2.stddev());
+  EXPECT_DOUBLE_EQ(a.gini_f1.mean(), b.gini_f1.mean());
+  EXPECT_DOUBLE_EQ(a.avg_forwarded.mean(), b.avg_forwarded.mean());
+  EXPECT_DOUBLE_EQ(a.routing_success.mean(), b.routing_success.mean());
+  EXPECT_DOUBLE_EQ(a.total_income.mean(), b.total_income.mean());
+  EXPECT_DOUBLE_EQ(a.total_income.sum(), b.total_income.sum());
+}
+
+TEST(MultiRunParallel, BitIdenticalAcrossThreadCounts) {
+  const auto cfg = tiny_config();
+  const auto serial = run_seeds(cfg, 6);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto parallel = run_seeds(cfg, 6, threads);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(MultiRunParallel, ExplicitSeedListBitIdentical) {
+  const std::vector<std::uint64_t> seeds{42, 7, 1234, 9, 42};  // order + dupes kept
+  const auto cfg = tiny_config();
+  const auto serial = run_seeds(cfg, seeds);
+  const auto parallel = run_seeds(cfg, seeds, 4);
+  expect_identical(serial, parallel);
+}
+
+TEST(MultiRunParallel, EmptySeedListYieldsEmptyAggregate) {
+  const std::vector<std::uint64_t> no_seeds;
+  const auto agg = run_seeds(tiny_config(), no_seeds, 8);
+  EXPECT_EQ(agg.runs, 0u);
+  EXPECT_EQ(agg.label, "tiny");
+  EXPECT_EQ(agg.gini_f2.count(), 0u);
+  EXPECT_EQ(agg.gini_f2.mean(), 0.0);
+}
+
+TEST(MultiRunParallel, SingleSeedMatchesSingleExperiment) {
+  auto cfg = tiny_config();
+  const auto single = run_experiment(cfg);
+  const std::vector<std::uint64_t> seeds{cfg.seed};
+  const auto agg = run_seeds(cfg, seeds, 8);
+  EXPECT_EQ(agg.runs, 1u);
+  EXPECT_DOUBLE_EQ(agg.gini_f2.mean(), single.fairness.gini_f2);
+  EXPECT_EQ(agg.gini_f2.stddev(), 0.0);
+}
+
+TEST(MultiRunParallel, ZeroThreadsMeansHardwareConcurrency) {
+  const auto serial = run_seeds(tiny_config(), 3);
+  const auto parallel = run_seeds(tiny_config(), 3, 0);
+  expect_identical(serial, parallel);
+}
+
 TEST(MeanPmStd, FormatsMeanAndDeviation) {
   RunningStats s;
   s.add(1.0);
