@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "core/scenarios.hpp"
 #include "core/simulation.hpp"
+#include "overlay/compiled_router.hpp"
 #include "overlay/forwarding.hpp"
 #include "overlay/topology.hpp"
 #include "storage/bmt.hpp"
@@ -50,6 +51,21 @@ void BM_NextHop(benchmark::State& state) {
 }
 BENCHMARK(BM_NextHop)->Arg(4)->Arg(20);
 
+void BM_NextHopCompiled(benchmark::State& state) {
+  const auto& topo = paper_topology(static_cast<std::size_t>(state.range(0)));
+  const auto& compiled = topo.compiled();
+  Rng rng(1);
+  std::vector<Address> targets(1024);
+  for (auto& t : targets) {
+    t = Address{static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.next_hop(0, targets[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_NextHopCompiled)->Arg(4)->Arg(20);
+
 void BM_NextHopNaive(benchmark::State& state) {
   const auto& topo = paper_topology(static_cast<std::size_t>(state.range(0)));
   Rng rng(1);
@@ -78,6 +94,20 @@ void BM_Route(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Route)->Arg(4)->Arg(20);
+
+void BM_RouteCompiled(benchmark::State& state) {
+  const auto& topo = paper_topology(static_cast<std::size_t>(state.range(0)));
+  const auto& compiled = topo.compiled();
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto origin =
+        static_cast<overlay::NodeIndex>(rng.index(topo.node_count()));
+    const Address chunk{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    benchmark::DoNotOptimize(compiled.route(origin, chunk));
+  }
+}
+BENCHMARK(BM_RouteCompiled)->Arg(4)->Arg(20);
 
 void BM_ClosestNode(benchmark::State& state) {
   const auto& topo = paper_topology(4);

@@ -1,0 +1,243 @@
+// Scale scenario suite + routing hot-path microbenchmark.
+//
+// Part 1 — routing microbenchmark: on the 1000-node paper grid
+// (k in {4, 20}), routes a batch of random (origin, chunk) pairs through
+// the Address-keyed greedy reference (ForwardingRouter) and through the
+// compiled NodeIndex path (Topology::compiled()), verifies the routes are
+// bit-identical, and reports ns/route plus the speedup (target: >= 5x).
+//
+// Part 2 — scale scenarios: nodes (default 10'000) on a bits (default 20)
+// -bit address space across k in {4, 20}, driven through the parallel
+// multi-seed run_seeds path; prints fairness aggregates with error bars
+// plus the route accounting (delivered / failed / truncated) and writes
+// scale_routing.csv + scale_totals.csv.
+//
+// Overrides: nodes=<n> bits=<n> files=<n> seeds=<count> threads=<max>
+//            routes=<n> seed=<n> out=<dir>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/multi_run.hpp"
+#include "overlay/compiled_router.hpp"
+#include "overlay/forwarding.hpp"
+
+namespace {
+
+using namespace fairswap;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct RoutePair {
+  overlay::NodeIndex origin;
+  Address chunk;
+};
+
+struct MicroResult {
+  std::size_t k{0};
+  double greedy_ns{0};
+  double compiled_ns{0};
+  double batched_ns{0};
+  bool identical{true};
+  std::size_t hops{0};
+
+  /// Old hot path (sequential greedy walk) vs new hot path (the batched
+  /// compiled walk the simulation actually runs).
+  [[nodiscard]] double speedup() const { return greedy_ns / batched_ns; }
+};
+
+MicroResult route_microbench(std::size_t k, std::size_t route_count,
+                             std::uint64_t seed) {
+  const auto cfg = core::paper_config(k, 1.0, 1, seed);
+  const auto topo = core::build_topology(cfg);
+  const overlay::ForwardingRouter greedy(topo);
+  const overlay::CompiledRouter& compiled = topo.compiled();
+
+  Rng rng(seed + k);
+  std::vector<RoutePair> pairs(route_count);
+  for (auto& p : pairs) {
+    p.origin = static_cast<overlay::NodeIndex>(rng.index(topo.node_count()));
+    p.chunk = Address{static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+  }
+
+  MicroResult result;
+  result.k = k;
+
+  // Bit-identity spot check over a prefix (sequential and batched
+  // compiled walks against the greedy reference), hop checksum over the
+  // whole batch.
+  const std::size_t verify = std::min<std::size_t>(2'000, route_count);
+  {
+    std::vector<overlay::NodeIndex> vorigins(verify);
+    std::vector<Address> vchunks(verify);
+    for (std::size_t i = 0; i < verify; ++i) {
+      vorigins[i] = pairs[i].origin;
+      vchunks[i] = pairs[i].chunk;
+    }
+    std::vector<overlay::Route> batched;
+    compiled.route_batch(vorigins, vchunks, batched);
+    for (std::size_t i = 0; i < verify; ++i) {
+      const auto a = greedy.route(pairs[i].origin, pairs[i].chunk);
+      const auto b = compiled.route(pairs[i].origin, pairs[i].chunk);
+      if (a.path != b.path || a.reached_storer != b.reached_storer ||
+          a.truncated != b.truncated || b.path != batched[i].path ||
+          b.reached_storer != batched[i].reached_storer ||
+          b.truncated != batched[i].truncated) {
+        result.identical = false;
+      }
+    }
+  }
+
+  // Both sides reuse one path buffer so the comparison isolates the
+  // routing machinery rather than per-route allocation.
+  overlay::Route buf;
+  std::size_t greedy_hops = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& p : pairs) {
+    greedy.route_into(p.origin, p.chunk, buf);
+    greedy_hops += buf.hops();
+  }
+  result.greedy_ns =
+      seconds_since(start) * 1e9 / static_cast<double>(route_count);
+
+  std::size_t compiled_hops = 0;
+  start = std::chrono::steady_clock::now();
+  for (const auto& p : pairs) {
+    compiled.route_into(p.origin, p.chunk, buf);
+    compiled_hops += buf.hops();
+  }
+  result.compiled_ns =
+      seconds_since(start) * 1e9 / static_cast<double>(route_count);
+
+  // Batched walk — the per-file shape the simulation routes with. Batches
+  // of 512 approximate a paper file's chunk count.
+  std::vector<overlay::NodeIndex> origins(pairs.size());
+  std::vector<Address> chunks(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    origins[i] = pairs[i].origin;
+    chunks[i] = pairs[i].chunk;
+  }
+  std::vector<overlay::Route> batch;
+  std::size_t batched_hops = 0;
+  constexpr std::size_t kBatch = 512;
+  start = std::chrono::steady_clock::now();
+  for (std::size_t at = 0; at < pairs.size(); at += kBatch) {
+    const std::size_t n = std::min(kBatch, pairs.size() - at);
+    compiled.route_batch({origins.data() + at, n}, {chunks.data() + at, n},
+                         batch);
+    for (const auto& r : batch) batched_hops += r.hops();
+  }
+  result.batched_ns =
+      seconds_since(start) * 1e9 / static_cast<double>(route_count);
+
+  if (greedy_hops != compiled_hops || greedy_hops != batched_hops) {
+    result.identical = false;
+  }
+  result.hops = compiled_hops;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fairswap;
+  const Config cfg_args = Config::from_args(argc, argv);
+  auto args = bench::BenchArgs::parse(argc, argv);
+  // A 10k-node multi-seed run multiplies cost; default files down.
+  args.files = cfg_args.get_or("files", std::uint64_t{1'000});
+  const auto nodes =
+      static_cast<std::size_t>(cfg_args.get_or("nodes", std::uint64_t{10'000}));
+  const auto bits =
+      static_cast<int>(cfg_args.get_or("bits", std::uint64_t{20}));
+  const auto seed_count =
+      static_cast<std::size_t>(cfg_args.get_or("seeds", std::uint64_t{3}));
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto threads = static_cast<std::size_t>(
+      cfg_args.get_or("threads", static_cast<std::uint64_t>(hw)));
+  const auto route_count = static_cast<std::size_t>(
+      cfg_args.get_or("routes", std::uint64_t{200'000}));
+
+  // --- Part 1: routing microbenchmark on the 1000-node paper grid. ---
+  bench::banner("Routing hot path: greedy reference vs compiled (1000 nodes, " +
+                std::to_string(route_count) + " routes)");
+  TextTable micro({"grid cell", "greedy ns/route", "compiled ns/route",
+                   "batched ns/route", "speedup", "bit-identical"});
+  std::ostringstream micro_csv_text;
+  CsvWriter micro_csv(micro_csv_text);
+  micro_csv.cells("k", "greedy_ns_per_route", "compiled_ns_per_route",
+                  "batched_ns_per_route", "speedup", "identical");
+  bool all_identical = true;
+  double min_speedup = 1e9;
+  for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
+    const auto r = route_microbench(k, route_count, args.seed);
+    all_identical = all_identical && r.identical;
+    min_speedup = std::min(min_speedup, r.speedup());
+    micro.add_row({"k=" + std::to_string(k), TextTable::num(r.greedy_ns, 1),
+                   TextTable::num(r.compiled_ns, 1),
+                   TextTable::num(r.batched_ns, 1),
+                   TextTable::num(r.speedup(), 2),
+                   r.identical ? "yes" : "NO"});
+    micro_csv.cells(k, r.greedy_ns, r.compiled_ns, r.batched_ns, r.speedup(),
+                    r.identical ? 1 : 0);
+  }
+  std::printf("%s", micro.render().c_str());
+  if (min_speedup < 5.0) {
+    std::printf("WARNING: compiled speedup %.2fx below the 5x target\n",
+                min_speedup);
+  }
+
+  // --- Part 2: scale scenarios through the parallel run_seeds path. ---
+  bench::banner("Scale scenarios (" + std::to_string(nodes) + " nodes, " +
+                std::to_string(bits) + "-bit space, " +
+                std::to_string(seed_count) + " seeds x " +
+                std::to_string(args.files) + " files, " +
+                std::to_string(threads) + " threads)");
+  TextTable table({"scenario", "Gini F2 (income)", "Gini F1", "routing success",
+                   "avg forwarded", "wall clock (s)"});
+  std::vector<core::ExperimentResult> singles;
+  for (const auto& cfg :
+       core::scale_grid(nodes, bits, args.files, args.seed)) {
+    std::printf("running %s (%zu seeds)...\n", cfg.label.c_str(), seed_count);
+    std::fflush(stdout);
+    const auto topo = core::build_topology(cfg);
+    std::printf("  compiled routing memory: %.1f MiB\n",
+                static_cast<double>(topo.compiled().memory_bytes()) /
+                    (1024.0 * 1024.0));
+    std::fflush(stdout);
+    const auto start = std::chrono::steady_clock::now();
+    const auto agg = core::run_seeds(cfg, seed_count, threads);
+    const double elapsed = seconds_since(start);
+    table.add_row({cfg.label, core::mean_pm_std(agg.gini_f2),
+                   core::mean_pm_std(agg.gini_f1),
+                   core::mean_pm_std(agg.routing_success),
+                   core::mean_pm_std(agg.avg_forwarded, 0),
+                   TextTable::num(elapsed, 1)});
+    // One representative single-seed run for the route-accounting CSV.
+    singles.push_back(core::run_experiment(topo, cfg));
+  }
+  std::printf("%s", table.render().c_str());
+  for (const auto& r : singles) {
+    std::printf("%s", core::summarize_result(r).c_str());
+  }
+
+  core::write_text_file(args.out_dir + "/scale_routing.csv",
+                        micro_csv_text.str());
+  core::write_text_file(args.out_dir + "/scale_totals.csv",
+                        core::totals_csv(bench::as_ptrs(singles)));
+  std::printf("wrote %s/scale_routing.csv and %s/scale_totals.csv\n",
+              args.out_dir.c_str(), args.out_dir.c_str());
+
+  if (!all_identical) {
+    std::printf("ERROR: compiled routes diverged from the greedy reference\n");
+    return 1;
+  }
+  return 0;
+}

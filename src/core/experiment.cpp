@@ -45,7 +45,8 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
   result.routing_success =
       result.totals.chunk_requests == 0
           ? 0.0
-          : 1.0 - static_cast<double>(result.totals.failed_routes) /
+          : 1.0 - static_cast<double>(result.totals.failed_routes +
+                                      result.totals.truncated_routes) /
                       static_cast<double>(result.totals.chunk_requests);
   result.settlement_count = sim.swap().settlements().size();
   for (const auto& c : sim.counters()) result.cache_serves += c.cache_serves;

@@ -36,6 +36,21 @@ std::string per_node_csv(const std::string& label,
   return out.str();
 }
 
+std::string totals_csv(const std::vector<const ExperimentResult*>& results) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cells("label", "files", "chunk_requests", "delivered", "refused",
+            "failed_routes", "truncated_routes", "local_hits",
+            "total_transmissions", "routing_success");
+  for (const auto* r : results) {
+    const auto& t = r->totals;
+    csv.cells(r->config.label, t.files, t.chunk_requests, t.delivered,
+              t.refused, t.failed_routes, t.truncated_routes, t.local_hits,
+              t.total_transmissions, r->routing_success);
+  }
+  return out.str();
+}
+
 std::vector<Histogram> served_histograms(
     const std::vector<const ExperimentResult*>& results, std::size_t bins) {
   std::uint64_t max_served = 0;
@@ -68,7 +83,9 @@ std::string summarize_result(const ExperimentResult& r) {
       << "  Gini F1 (serve/paid):      "
       << TextTable::num(r.fairness.gini_f1, 4) << "\n"
       << "  routing success:           "
-      << TextTable::num(100.0 * r.routing_success, 2) << "%\n"
+      << TextTable::num(100.0 * r.routing_success, 2) << "% ("
+      << r.totals.failed_routes << " dead ends, " << r.totals.truncated_routes
+      << " hop-capped)\n"
       << "  runtime:                   "
       << TextTable::num(r.runtime_seconds, 2) << "s\n";
   return out.str();

@@ -20,6 +20,12 @@ namespace fairswap::core {
 [[nodiscard]] std::string per_node_csv(const std::string& label,
                                        const std::vector<std::uint64_t>& values);
 
+/// CSV of the network-wide totals, one row per result — the route
+/// accounting (delivered / refused / failed / truncated) the scale
+/// scenarios monitor.
+[[nodiscard]] std::string totals_csv(
+    const std::vector<const ExperimentResult*>& results);
+
 /// Histogram over served-chunks per node (Fig. 4 panel series) with
 /// `bins` equal-width bins spanning all results so curves are comparable.
 [[nodiscard]] std::vector<Histogram> served_histograms(

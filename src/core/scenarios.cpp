@@ -36,4 +36,29 @@ std::vector<ExperimentConfig> paper_grid(std::size_t files, std::uint64_t seed) 
   };
 }
 
+std::string scale_label(std::size_t node_count, int address_bits,
+                        std::size_t k) {
+  return std::to_string(node_count) + " nodes, " +
+         std::to_string(address_bits) + "-bit, k=" + std::to_string(k);
+}
+
+ExperimentConfig scale_config(std::size_t node_count, int address_bits,
+                              std::size_t k, double originator_share,
+                              std::size_t files, std::uint64_t seed) {
+  ExperimentConfig cfg = paper_config(k, originator_share, files, seed);
+  cfg.label = scale_label(node_count, address_bits, k);
+  cfg.topology.node_count = node_count;
+  cfg.topology.address_bits = address_bits;
+  return cfg;
+}
+
+std::vector<ExperimentConfig> scale_grid(std::size_t node_count,
+                                         int address_bits, std::size_t files,
+                                         std::uint64_t seed) {
+  return {
+      scale_config(node_count, address_bits, 4, 1.0, files, seed),
+      scale_config(node_count, address_bits, 20, 1.0, files, seed),
+  };
+}
+
 }  // namespace fairswap::core

@@ -1,9 +1,12 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "overlay/compiled_router.hpp"
 
 namespace fairswap::core {
 
@@ -36,8 +39,12 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
   }
 
   if (config_.free_rider_share > 0.0) {
-    const auto want = static_cast<std::size_t>(
-        config_.free_rider_share * static_cast<double>(topo.node_count()));
+    // Round to nearest so e.g. 10% of 999 nodes selects 100, not the 99 a
+    // plain truncation would give.
+    const auto want = std::min<std::size_t>(
+        topo.node_count(),
+        static_cast<std::size_t>(std::llround(
+            config_.free_rider_share * static_cast<double>(topo.node_count()))));
     for (std::size_t idx :
          free_rider_rng.sample_without_replacement(topo.node_count(), want)) {
       free_riders_[idx] = 1;
@@ -50,23 +57,36 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
   ctx_.free_rider = &free_riders_;
 }
 
-bool Simulation::request_chunk(NodeIndex originator, Address chunk,
-                               bool is_upload) {
+void Simulation::note_request(NodeIndex originator, bool is_upload) {
   ++totals_.chunk_requests;
   if (is_upload) ++totals_.upload_requests;
   ++counters_[originator].chunks_requested;
+}
 
-  const NodeIndex storer = topo_->closest_node(chunk);
+bool Simulation::request_chunk(NodeIndex originator, Address chunk,
+                               bool is_upload) {
+  note_request(originator, is_upload);
+
+  const bool compiled = config_.compiled_routing;
+  const overlay::CompiledRouter& router = topo_->compiled();
+  const NodeIndex storer =
+      compiled ? router.storer_of(chunk) : topo_->closest_node(chunk);
   const bool caching = config_.cache_capacity > 0;
 
-  // Greedy forwarding walk, short-circuited by caches when enabled.
-  overlay::Route route;
-  route.target = chunk;
+  // Greedy forwarding walk, short-circuited by caches when enabled. The
+  // compiled path answers each hop from the precomputed NodeIndex arrays;
+  // the reference path re-scans the Address-keyed buckets per hop. Both
+  // are bit-identical (tests/core/compiled_equivalence_test.cpp).
+  overlay::Route& route = route_;
+  route.reset(chunk);
   route.path.push_back(originator);
   NodeIndex cur = originator;
   bool found = false;
   bool from_cache = false;
-  const std::size_t max_hops = static_cast<std::size_t>(topo_->space().bits()) * 4;
+  const std::size_t max_hops =
+      config_.max_route_hops != 0
+          ? config_.max_route_hops
+          : static_cast<std::size_t>(topo_->space().bits()) * 4;
   for (;;) {
     if (cur == storer) {
       found = true;
@@ -81,15 +101,38 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
       route.truncated = true;
       break;
     }
-    const auto next = topo_->table(cur).next_hop(chunk);
-    if (!next) break;  // dead end short of the storer
-    cur = *topo_->index_of(*next);
+    NodeIndex next;
+    if (compiled) {
+      next = router.next_hop(cur, chunk);
+    } else {
+      const auto peer = topo_->table(cur).next_hop(chunk);
+      if (!peer) {
+        next = overlay::kNoNextHop;  // dead end short of the storer
+      } else if (const auto idx = topo_->index_of(*peer)) {
+        next = *idx;
+      } else {
+        // The table holds an address no network member owns (stale or
+        // poisoned entry): fail the route instead of dereferencing a
+        // missing index.
+        next = overlay::kNoNextHop;
+      }
+    }
+    if (next == overlay::kNoNextHop) break;
+    cur = next;
     route.path.push_back(cur);
   }
   route.reached_storer = found;
 
-  if (!found) {
-    ++totals_.failed_routes;
+  return account(route, from_cache);
+}
+
+bool Simulation::account(const overlay::Route& route, bool from_cache) {
+  if (!route.reached_storer) {
+    if (route.truncated) {
+      ++totals_.truncated_routes;
+    } else {
+      ++totals_.failed_routes;
+    }
     return false;
   }
 
@@ -98,7 +141,7 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
     // consumed and nobody is paid.
     ++totals_.local_hits;
     ++totals_.delivered;
-    ++counters_[originator].local_hits;
+    ++counters_[route.originator()].local_hits;
     return true;
   }
 
@@ -119,9 +162,9 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
 
   // Relay nodes opportunistically cache what they handled — on download
   // the chunk flows back through them, on upload it flows forward.
-  if (caching) {
+  if (config_.cache_capacity > 0) {
     for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
-      stores_[route.path[i]].cache(chunk);
+      stores_[route.path[i]].cache(route.target);
     }
   }
 
@@ -131,8 +174,22 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
 
 void Simulation::apply(const workload::DownloadRequest& request) {
   if (request.is_upload) ++totals_.upload_files;
-  for (const Address chunk : request.chunks) {
-    request_chunk(request.originator, chunk, request.is_upload);
+  // Without caches a route never depends on accounting state, so the
+  // file's chunks can be routed as one interleaved batch (overlapping the
+  // walks' cache misses) and accounted afterwards in request order —
+  // bit-identical to the per-chunk path.
+  if (config_.compiled_routing && config_.cache_capacity == 0) {
+    origins_buf_.assign(request.chunks.size(), request.originator);
+    topo_->compiled().route_batch(origins_buf_, request.chunks, routes_buf_,
+                                  config_.max_route_hops);
+    for (const auto& route : routes_buf_) {
+      note_request(request.originator, request.is_upload);
+      account(route, /*from_cache=*/false);
+    }
+  } else {
+    for (const Address chunk : request.chunks) {
+      request_chunk(request.originator, chunk, request.is_upload);
+    }
   }
   policy_->on_step_end(ctx_);
   if (config_.amortize_each_step) {

@@ -17,6 +17,7 @@
 #include "accounting/swap.hpp"
 #include "common/rng.hpp"
 #include "incentives/policy.hpp"
+#include "overlay/forwarding.hpp"
 #include "overlay/topology.hpp"
 #include "storage/store.hpp"
 #include "workload/download_generator.hpp"
@@ -41,6 +42,14 @@ struct SimulationConfig {
   double free_rider_share{0.0};
   /// Apply one tick of time-based amortization after every file download.
   bool amortize_each_step{false};
+  /// Route via the precomputed NodeIndex hot path (overlay/compiled_router,
+  /// default). false selects the Address-keyed greedy reference walk; both
+  /// produce bit-identical counters — see
+  /// tests/core/compiled_equivalence_test.cpp.
+  bool compiled_routing{true};
+  /// Hop cap per route; 0 = the default 4x address bits. Routes cut by the
+  /// cap count as truncated_routes, not failed_routes.
+  std::size_t max_route_hops{0};
 };
 
 /// Per-node activity counters.
@@ -60,6 +69,8 @@ struct NodeCounters {
   /// Chunks this node served out of its LRU cache (subset of
   /// chunks_served; 0 when caching is disabled).
   std::uint64_t cache_serves{0};
+
+  friend bool operator==(const NodeCounters&, const NodeCounters&) = default;
 };
 
 /// Network-wide totals.
@@ -72,11 +83,18 @@ struct SimulationTotals {
   std::uint64_t upload_requests{0};
   std::uint64_t delivered{0};
   std::uint64_t refused{0};        ///< vetoed by the policy (choking/blocklist)
-  std::uint64_t failed_routes{0};  ///< greedy walk dead-ended off the storer
+  std::uint64_t failed_routes{0};  ///< walk dead-ended off the storer
+  /// Walks cut by the hop cap before reaching the storer — distinct from
+  /// failed_routes so dead ends and hop-cap cutoffs are distinguishable
+  /// at scale. delivered + refused + failed_routes + truncated_routes ==
+  /// chunk_requests.
+  std::uint64_t truncated_routes{0};
   std::uint64_t local_hits{0};
   /// Total chunk transmissions == sum over nodes of chunks_served — the
   /// bandwidth overhead measure of the §V extension.
   std::uint64_t total_transmissions{0};
+
+  friend bool operator==(const SimulationTotals&, const SimulationTotals&) = default;
 };
 
 /// A running simulation over a shared topology. The topology must outlive
@@ -142,6 +160,14 @@ class Simulation {
   /// delivered.
   bool request_chunk(NodeIndex originator, Address chunk, bool is_upload);
 
+  /// Request-header bookkeeping shared by the per-chunk and batched paths.
+  void note_request(NodeIndex originator, bool is_upload);
+
+  /// Applies all post-routing accounting (failure counters, policy admit,
+  /// transmission counters, relay caching, payment) for one routed chunk.
+  /// Returns true if the chunk was delivered.
+  bool account(const overlay::Route& route, bool from_cache);
+
   const overlay::Topology* topo_;
   SimulationConfig config_;
   accounting::SwapNetwork swap_;
@@ -153,6 +179,11 @@ class Simulation {
   std::vector<std::uint8_t> free_riders_;
   SimulationTotals totals_;
   incentives::PolicyContext ctx_;
+  /// Reused per-request path buffer; the hot path must not allocate.
+  overlay::Route route_;
+  /// Reused buffers for the batched per-file routing path.
+  std::vector<overlay::Route> routes_buf_;
+  std::vector<NodeIndex> origins_buf_;
 };
 
 }  // namespace fairswap::core

@@ -80,14 +80,16 @@ Route DynamicOverlay::route(NodeIndex origin, Address target) const {
     std::optional<NodeIndex> best;
     AddressValue best_dist = xor_distance(topo_.address_of(cur), target);
     for (const Address peer : table.all_peers()) {
-      const NodeIndex idx = *topo_.index_of(peer);
+      const auto idx = topo_.index_of(peer);
       const AddressValue d = xor_distance(peer, target);
       if (d >= best_dist) continue;
-      if (!alive_[idx]) {
+      // Entries outside the network behave like dead peers: routing skips
+      // them instead of dereferencing a missing index.
+      if (!idx || !alive_[*idx]) {
         ++stats_.dead_peer_encounters;
         continue;
       }
-      best = idx;
+      best = *idx;
       best_dist = d;
     }
     if (!best) break;
@@ -118,7 +120,8 @@ std::size_t DynamicOverlay::repair(NodeIndex n, Rng& rng) {
   std::size_t repaired = 0;
   for (int b = 0; b < space.bits(); ++b) {
     for (const Address peer : tables_[n].bucket(b)) {
-      if (alive_[*topo_.index_of(peer)]) fresh.try_add(peer);
+      const auto idx = topo_.index_of(peer);
+      if (idx && alive_[*idx]) fresh.try_add(peer);
     }
   }
   for (int b = 0; b < space.bits(); ++b) {
@@ -148,7 +151,8 @@ double DynamicOverlay::staleness(NodeIndex n) const {
   if (peers.empty()) return 0.0;
   std::size_t dead = 0;
   for (const Address peer : peers) {
-    if (!alive_[*topo_.index_of(peer)]) ++dead;
+    const auto idx = topo_.index_of(peer);
+    if (!idx || !alive_[*idx]) ++dead;
   }
   return static_cast<double>(dead) / static_cast<double>(peers.size());
 }

@@ -1,0 +1,205 @@
+#include "overlay/compiled_router.hpp"
+
+#include <cassert>
+
+namespace fairswap::overlay {
+
+CompiledRouter::CompiledRouter(const Topology& topo)
+    : space_(topo.space()),
+      bits_(topo.space().bits()),
+      node_count_(topo.node_count()),
+      closest_(topo.space(), topo.addresses()) {
+  node_addr_.reserve(node_count_);
+  for (const Address a : topo.addresses()) node_addr_.push_back(a.v);
+
+  const std::size_t cells = node_count_ * static_cast<std::size_t>(bits_);
+  offsets_.assign(cells + 1, 0);
+  peer_addr_.reserve(topo.edge_count());
+  peer_idx_.reserve(topo.edge_count());
+
+  std::size_t max_slab = 0;
+  for (NodeIndex n = 0; n < node_count_; ++n) {
+    const RoutingTable& table = topo.table(n);
+    const std::size_t slab_begin = peer_addr_.size();
+    for (int b = 0; b < bits_; ++b) {
+      const std::size_t cell = n * static_cast<std::size_t>(bits_) +
+                               static_cast<std::size_t>(b);
+      offsets_[cell] = static_cast<std::uint32_t>(peer_addr_.size());
+      for (const Address peer : table.bucket(b)) {
+        peer_addr_.push_back(peer.v);
+        const auto idx = topo.index_of(peer);
+        peer_idx_.push_back(idx ? *idx : kForeignPeer);
+      }
+    }
+    max_slab = std::max(max_slab, peer_addr_.size() - slab_begin);
+  }
+  offsets_[cells] = static_cast<std::uint32_t>(peer_addr_.size());
+
+  // The packed scan stores each peer as (address << shift) | local index;
+  // it applies whenever the widest per-node slab index fits beside the
+  // address in 32 bits (true for every practical configuration — e.g. a
+  // 20-bit space leaves 12 bits, room for 4096 peers per node).
+  if (bits_ < 32 && max_slab <= (std::size_t{1} << (32 - bits_))) {
+    shift_ = 32 - bits_;
+    local_mask_ = (std::uint32_t{1} << shift_) - 1;
+    peer_packed_.resize(peer_addr_.size());
+    for (NodeIndex n = 0; n < node_count_; ++n) {
+      const std::uint32_t slab_begin =
+          offsets_[n * static_cast<std::size_t>(bits_)];
+      const std::uint32_t slab_end =
+          offsets_[(n + std::size_t{1}) * static_cast<std::size_t>(bits_)];
+      for (std::uint32_t i = slab_begin; i < slab_end; ++i) {
+        peer_packed_[i] = (peer_addr_[i] << shift_) | (i - slab_begin);
+      }
+    }
+  }
+
+  if (bits_ <= kDenseStorerBits) {
+    const std::size_t span = std::size_t{1} << bits_;
+    storer_.resize(span);
+    for (std::size_t a = 0; a < span; ++a) {
+      storer_[a] = static_cast<NodeIndex>(
+          closest_.closest_index(Address{static_cast<AddressValue>(a)}));
+    }
+  }
+}
+
+NodeIndex CompiledRouter::next_hop_generic(std::uint32_t scan_begin,
+                                           std::uint32_t scan_end,
+                                           std::uint64_t threshold,
+                                           Address target) const noexcept {
+  // Reference scan for layouts the packed path cannot represent (32-bit
+  // spaces or pathologically large slabs): a vectorizable min pass over
+  // the plain addresses, then a locate pass — distinct addresses never
+  // tie under XOR, so the located index is unique.
+  if (scan_begin == scan_end) return kNoNextHop;
+  const AddressValue* const addr = peer_addr_.data();
+  AddressValue best_dist = addr[scan_begin] ^ target.v;
+  for (std::uint32_t i = scan_begin + 1; i < scan_end; ++i) {
+    best_dist = std::min(best_dist, addr[i] ^ target.v);
+  }
+  // `threshold` is self's distance when the first-differing bucket was
+  // empty (strictly-closer check), and UINT64_MAX (accept anything, even
+  // a 32-bit-space peer at distance 2^32 - 1) when it was not.
+  if (best_dist >= threshold) return kNoNextHop;
+  std::uint32_t best = scan_begin;
+  while ((addr[best] ^ target.v) != best_dist) ++best;
+  const NodeIndex idx = peer_idx_[best];
+  return idx == kForeignPeer ? kNoNextHop : idx;
+}
+
+Route CompiledRouter::route(NodeIndex origin, Address target,
+                            std::size_t max_hops) const {
+  Route r;
+  route_into(origin, target, r, max_hops);
+  return r;
+}
+
+void CompiledRouter::route_into(NodeIndex origin, Address target, Route& r,
+                                std::size_t max_hops) const {
+  if (max_hops == 0) max_hops = static_cast<std::size_t>(bits_) * 4;
+  r.reset(target);
+  r.path.push_back(origin);
+
+  const NodeIndex storer = storer_of(target);
+  NodeIndex cur = origin;
+  while (cur != storer) {
+    if (r.hops() >= max_hops) {
+      r.truncated = true;
+      break;
+    }
+    const NodeIndex next = next_hop(cur, target);
+    if (next == kNoNextHop) break;  // dead end or unroutable table entry
+    cur = next;
+    r.path.push_back(cur);
+  }
+  r.reached_storer = (cur == storer);
+}
+
+void CompiledRouter::route_batch(std::span<const NodeIndex> origins,
+                                 std::span<const Address> targets,
+                                 std::vector<Route>& out,
+                                 std::size_t max_hops) const {
+  assert(origins.size() == targets.size());
+  if (max_hops == 0) max_hops = static_cast<std::size_t>(bits_) * 4;
+  out.resize(targets.size());
+
+  // Up to kLanes walks advance in lockstep; each outer iteration issues
+  // one hop per active lane, so the lanes' independent cache misses
+  // overlap instead of serializing. Lane results are written straight to
+  // their slot in `out`, so completion order does not matter.
+  constexpr std::size_t kLanes = 8;
+  struct Lane {
+    Route* route{nullptr};
+    NodeIndex cur{0};
+    NodeIndex storer{0};
+    Address target{};
+  };
+  Lane lanes[kLanes];
+  std::size_t active = 0;
+  std::size_t next = 0;
+
+  const auto feed = [&](Lane& lane) {
+    while (next < targets.size()) {
+      const std::size_t slot = next++;
+      Route& r = out[slot];
+      r.reset(targets[slot]);
+      r.path.push_back(origins[slot]);
+      lane.cur = origins[slot];
+      lane.storer = storer_of(targets[slot]);
+      lane.target = targets[slot];
+      if (lane.cur == lane.storer) {
+        r.reached_storer = true;  // zero-hop route: originator stores it
+        continue;
+      }
+      lane.route = &r;
+      return;
+    }
+    lane.route = nullptr;
+  };
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    feed(lanes[l]);
+    if (lanes[l].route) ++active;
+  }
+
+  while (active > 0) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      Lane& lane = lanes[l];
+      if (!lane.route) continue;
+      Route& r = *lane.route;
+      bool done = false;
+      if (r.hops() >= max_hops) {
+        r.truncated = true;
+        done = true;
+      } else {
+        const NodeIndex nh = next_hop(lane.cur, lane.target);
+        if (nh == kNoNextHop) {
+          done = true;  // dead end or unroutable table entry
+        } else {
+          lane.cur = nh;
+          r.path.push_back(nh);
+          if (nh == lane.storer) {
+            r.reached_storer = true;
+            done = true;
+          }
+        }
+      }
+      if (done) {
+        feed(lane);
+        if (!lane.route) --active;
+      }
+    }
+  }
+}
+
+std::size_t CompiledRouter::memory_bytes() const noexcept {
+  return node_addr_.size() * sizeof(AddressValue) +
+         offsets_.size() * sizeof(std::uint32_t) +
+         peer_packed_.size() * sizeof(std::uint32_t) +
+         peer_addr_.size() * sizeof(AddressValue) +
+         peer_idx_.size() * sizeof(NodeIndex) +
+         storer_.size() * sizeof(NodeIndex) + closest_.memory_bytes();
+}
+
+}  // namespace fairswap::overlay

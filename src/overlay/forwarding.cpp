@@ -10,7 +10,13 @@ ForwardingRouter::ForwardingRouter(const Topology& topo, std::size_t max_hops) n
 
 Route ForwardingRouter::route(NodeIndex origin, Address target) const {
   Route r;
-  r.target = target;
+  route_into(origin, target, r);
+  return r;
+}
+
+void ForwardingRouter::route_into(NodeIndex origin, Address target,
+                                  Route& r) const {
+  r.reset(target);
   r.path.push_back(origin);
 
   const NodeIndex storer = topo_->closest_node(target);
@@ -22,11 +28,12 @@ Route ForwardingRouter::route(NodeIndex origin, Address target) const {
     }
     const auto next = topo_->table(cur).next_hop(target);
     if (!next) break;  // local minimum: no strictly closer peer known
-    cur = *topo_->index_of(*next);
+    const auto idx = topo_->index_of(*next);
+    if (!idx) break;  // table entry outside the network: fail the route
+    cur = *idx;
     r.path.push_back(cur);
   }
   r.reached_storer = (cur == storer);
-  return r;
 }
 
 }  // namespace fairswap::overlay

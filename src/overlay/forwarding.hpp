@@ -34,6 +34,16 @@ struct Route {
     return path.empty() ? 0 : path.size() - 1;
   }
 
+  /// Clears the route for reuse toward a new target, keeping the path
+  /// buffer's capacity — the routing hot path routes millions of chunks
+  /// and must not allocate per request.
+  void reset(Address new_target) noexcept {
+    path.clear();
+    target = new_target;
+    reached_storer = false;
+    truncated = false;
+  }
+
   [[nodiscard]] NodeIndex originator() const noexcept { return path.front(); }
   [[nodiscard]] NodeIndex terminal() const noexcept { return path.back(); }
 
@@ -57,6 +67,10 @@ class ForwardingRouter {
   /// Routes from `origin` toward `target`, stopping at the storer (global
   /// closest node) or at a local minimum of the greedy walk.
   [[nodiscard]] Route route(NodeIndex origin, Address target) const;
+
+  /// Allocation-free variant: writes into `out` (resetting it first), so a
+  /// caller looping over many chunks can reuse one path buffer.
+  void route_into(NodeIndex origin, Address target, Route& out) const;
 
   [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
 

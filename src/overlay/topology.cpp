@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "overlay/compiled_router.hpp"
 
 namespace fairswap::overlay {
 
@@ -36,7 +37,7 @@ void ClosestNodeIndex::insert(Address a) {
   }
 }
 
-Address ClosestNodeIndex::closest(Address target) const noexcept {
+std::size_t ClosestNodeIndex::closest_index(Address target) const noexcept {
   assert(leaf_count_ > 0);
   std::int32_t cur = 0;
   for (int bit = space_.bits() - 1; bit >= 0; --bit) {
@@ -48,8 +49,11 @@ Address ClosestNodeIndex::closest(Address target) const noexcept {
       cur = node.child[1 - want];
     }
   }
-  return leaves_[static_cast<std::size_t>(
-      nodes_[static_cast<std::size_t>(cur)].leaf)];
+  return static_cast<std::size_t>(nodes_[static_cast<std::size_t>(cur)].leaf);
+}
+
+Address ClosestNodeIndex::closest(Address target) const noexcept {
+  return leaves_[closest_index(target)];
 }
 
 Topology::Topology(TopologyConfig config, AddressSpace space)
@@ -122,14 +126,24 @@ Topology Topology::build(const TopologyConfig& config, Rng& rng) {
   }
 
   topo.closest_.emplace(space, std::span<const Address>(topo.addresses_));
+  topo.compiled_ = std::make_shared<const CompiledRouter>(topo);
 
   FAIRSWAP_LOG(kInfo, "overlay")
       << "built topology: " << topo.node_count() << " nodes, "
       << space.bits() << "-bit space, k=" << config.buckets.k
       << (config.buckets.k_bucket0 ? " (bucket0 k=" +
               std::to_string(config.buckets.k_bucket0) + ")" : std::string{})
-      << ", edges=" << topo.edge_count();
+      << ", edges=" << topo.edge_count()
+      << ", compiled routing " << topo.compiled_->memory_bytes() << " bytes";
   return topo;
+}
+
+const CompiledRouter& Topology::compiled() const noexcept { return *compiled_; }
+
+bool Topology::inject_table_entry(NodeIndex node, Address peer) {
+  if (!tables_[node].try_add(peer)) return false;
+  compiled_ = std::make_shared<const CompiledRouter>(*this);
+  return true;
 }
 
 std::optional<NodeIndex> Topology::index_of(Address a) const noexcept {
@@ -139,8 +153,9 @@ std::optional<NodeIndex> Topology::index_of(Address a) const noexcept {
 }
 
 NodeIndex Topology::closest_node(Address target) const noexcept {
-  const Address a = closest_->closest(target);
-  return index_.find(a)->second;
+  // The trie was built over addresses_ in node order, so the leaf ordinal
+  // is the NodeIndex — no hash lookup needed.
+  return static_cast<NodeIndex>(closest_->closest_index(target));
 }
 
 std::size_t Topology::edge_count() const noexcept {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -19,6 +20,8 @@
 #include "overlay/routing_table.hpp"
 
 namespace fairswap::overlay {
+
+class CompiledRouter;
 
 /// Dense node index in [0, node_count). All per-node experiment counters
 /// are vectors indexed by NodeIndex.
@@ -35,7 +38,16 @@ class ClosestNodeIndex {
   /// The node address closest to `target` (target may equal a node).
   [[nodiscard]] Address closest(Address target) const noexcept;
 
+  /// The insertion ordinal of the closest address — equal to the NodeIndex
+  /// when the index was built over Topology::addresses() in node order.
+  [[nodiscard]] std::size_t closest_index(Address target) const noexcept;
+
   [[nodiscard]] std::size_t size() const noexcept { return leaf_count_; }
+
+  /// Bytes held by the trie arrays.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return nodes_.size() * sizeof(TrieNode) + leaves_.size() * sizeof(Address);
+  }
 
  private:
   struct TrieNode {
@@ -84,6 +96,19 @@ class Topology {
   /// The node that stores content at `target` (globally XOR-closest node).
   [[nodiscard]] NodeIndex closest_node(Address target) const noexcept;
 
+  /// The compiled (precomputed) routing hot path over these tables. Built
+  /// once at the end of build(); rebuilt by inject_table_entry. See
+  /// overlay/compiled_router.hpp.
+  [[nodiscard]] const CompiledRouter& compiled() const noexcept;
+
+  /// Fault-injection seam: admits `peer` into `node`'s routing table even
+  /// when `peer` is not a member of this network — modelling a stale or
+  /// poisoned table entry pointing at a departed node. Respects bucket
+  /// capacity (returns false when the bucket is full or the entry is
+  /// already present) and recompiles the routing hot path on success.
+  /// Used by the route-accounting regression tests.
+  bool inject_table_entry(NodeIndex node, Address peer);
+
   /// Total directed "knows" edges (sum of routing-table sizes).
   [[nodiscard]] std::size_t edge_count() const noexcept;
 
@@ -96,6 +121,8 @@ class Topology {
   std::vector<RoutingTable> tables_;
   std::unordered_map<Address, NodeIndex> index_;
   std::optional<ClosestNodeIndex> closest_;
+  /// Shared, immutable after build; copies of a Topology share it.
+  std::shared_ptr<const CompiledRouter> compiled_;
 };
 
 }  // namespace fairswap::overlay

@@ -1,0 +1,194 @@
+// The simulation's compiled routing path (including the batched per-file
+// walker) must produce bit-identical results to the Address-keyed greedy
+// reference walk: same Routes, same NodeCounters, same SimulationTotals,
+// same incomes — across the full paper grid and randomized topologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "core/scenarios.hpp"
+#include "core/simulation.hpp"
+
+namespace fairswap::core {
+namespace {
+
+overlay::Topology make_topology(std::size_t nodes, std::size_t k,
+                                std::uint64_t seed, int bits = 12) {
+  overlay::TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.address_bits = bits;
+  cfg.buckets.k = k;
+  Rng rng(seed);
+  return overlay::Topology::build(cfg, rng);
+}
+
+/// Runs the same (topology, config, seed) with the compiled and the greedy
+/// reference path and asserts every observable is identical.
+void expect_equivalent(const overlay::Topology& topo, SimulationConfig cfg,
+                       std::uint64_t seed, std::size_t files,
+                       const char* what) {
+  cfg.compiled_routing = true;
+  Simulation compiled(topo, cfg, Rng(seed));
+  cfg.compiled_routing = false;
+  Simulation greedy(topo, cfg, Rng(seed));
+  compiled.run(files);
+  greedy.run(files);
+
+  EXPECT_EQ(compiled.totals(), greedy.totals()) << what;
+  EXPECT_EQ(compiled.counters(), greedy.counters()) << what;
+  EXPECT_EQ(compiled.income_per_node(), greedy.income_per_node()) << what;
+  EXPECT_EQ(compiled.swap().settlements().size(),
+            greedy.swap().settlements().size())
+      << what;
+}
+
+TEST(CompiledEquivalence, FullPaperGrid) {
+  // The paper's 2x2 grid (1000 nodes, 16-bit space) at a reduced file
+  // count; the topology is shared per k, as in the benches.
+  for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
+    const auto grid_cfg = paper_config(k, 1.0, 1, kDefaultSeed);
+    Rng trng(kDefaultSeed);
+    Rng topo_rng = trng.split(0);
+    const auto topo = overlay::Topology::build(grid_cfg.topology, topo_rng);
+    for (const double share : {0.2, 1.0}) {
+      auto cfg = paper_config(k, share, 1, kDefaultSeed).sim;
+      expect_equivalent(topo, cfg, kDefaultSeed + k, 25,
+                        scenario_label(k, share).c_str());
+    }
+  }
+}
+
+TEST(CompiledEquivalence, RandomizedTopologiesAndSeeds) {
+  Rng rng(42);
+  for (int t = 0; t < 5; ++t) {
+    const std::size_t nodes = 50 + rng.index(250);
+    const std::size_t k = 1 + rng.index(8);
+    const int bits = 10 + static_cast<int>(rng.index(4));
+    const auto topo = make_topology(nodes, k, rng.next(), bits);
+    SimulationConfig cfg;
+    cfg.workload.min_chunks_per_file = 10;
+    cfg.workload.max_chunks_per_file = 60;
+    expect_equivalent(topo, cfg, rng.next(), 25, "randomized");
+  }
+}
+
+TEST(CompiledEquivalence, PolicyAndWorkloadVariants) {
+  const auto topo = make_topology(150, 4, 5);
+  SimulationConfig base;
+  base.workload.min_chunks_per_file = 10;
+  base.workload.max_chunks_per_file = 40;
+
+  auto uploads = base;
+  uploads.workload.upload_share = 0.4;
+  expect_equivalent(topo, uploads, 91, 25, "uploads");
+
+  auto riders = base;
+  riders.free_rider_share = 0.3;
+  expect_equivalent(topo, riders, 92, 25, "free riders");
+
+  auto per_hop = base;
+  per_hop.policy = "per-hop-swap";
+  expect_equivalent(topo, per_hop, 93, 25, "per-hop policy");
+
+  auto tft = base;
+  tft.policy = "tit-for-tat";
+  expect_equivalent(topo, tft, 94, 25, "tit-for-tat");
+
+  // Caching disables the batched path but still routes each hop through
+  // the compiled structure; equivalence must hold there too.
+  auto cached = base;
+  cached.cache_capacity = 32;
+  cached.workload.catalog_size = 100;
+  cached.workload.catalog_zipf_alpha = 1.1;
+  expect_equivalent(topo, cached, 95, 40, "caching");
+}
+
+TEST(CompiledEquivalence, HopCapTruncationCountsSeparately) {
+  const auto topo = make_topology(250, 4, 6);
+  SimulationConfig cfg;
+  cfg.workload.min_chunks_per_file = 10;
+  cfg.workload.max_chunks_per_file = 40;
+  cfg.max_route_hops = 1;  // nearly every multi-hop route truncates
+  expect_equivalent(topo, cfg, 96, 25, "hop cap");
+
+  Simulation sim(topo, cfg, Rng(96));
+  sim.run(25);
+  const auto& t = sim.totals();
+  EXPECT_GT(t.truncated_routes, 0u);
+  EXPECT_EQ(t.delivered + t.refused + t.failed_routes + t.truncated_routes,
+            t.chunk_requests);
+  // With the cap lifted the same workload truncates nothing.
+  SimulationConfig uncapped = cfg;
+  uncapped.max_route_hops = 0;
+  Simulation free_sim(topo, uncapped, Rng(96));
+  free_sim.run(25);
+  EXPECT_EQ(free_sim.totals().truncated_routes, 0u);
+}
+
+TEST(CompiledEquivalence, ForeignTableEntryCountsAsFailedRoute) {
+  auto topo = make_topology(60, 2, 7, 10);
+  // Find an unassigned address that fits a non-full bucket of a node that
+  // does not store it (regression: this used to dereference a missing
+  // index — UB — instead of failing the route).
+  std::unordered_set<AddressValue> taken;
+  for (const Address a : topo.addresses()) taken.insert(a.v);
+  overlay::NodeIndex node = 0;
+  Address foreign{};
+  bool found = false;
+  for (AddressValue v = 0; v < topo.space().size() && !found; ++v) {
+    if (taken.contains(v)) continue;
+    const Address f{v};
+    const auto storer = topo.closest_node(f);
+    for (overlay::NodeIndex n = 0; n < topo.node_count(); ++n) {
+      if (n == storer) continue;
+      const int b = topo.space().bucket_index(topo.address_of(n), f);
+      if (topo.table(n).bucket_size(b) <
+          topo.table(n).policy().capacity(b)) {
+        node = n;
+        foreign = f;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  ASSERT_TRUE(topo.inject_table_entry(node, foreign));
+
+  for (const bool compiled : {true, false}) {
+    SimulationConfig cfg;
+    cfg.compiled_routing = compiled;
+    Simulation sim(topo, cfg, Rng(97));
+    workload::DownloadRequest request;
+    request.originator = node;
+    request.chunks = {foreign};  // the walk's greedy winner is the stale entry
+    sim.apply(request);
+    EXPECT_EQ(sim.totals().failed_routes, 1u) << "compiled=" << compiled;
+    EXPECT_EQ(sim.totals().delivered, 0u) << "compiled=" << compiled;
+    EXPECT_EQ(sim.totals().truncated_routes, 0u) << "compiled=" << compiled;
+  }
+}
+
+TEST(CompiledEquivalence, FreeRiderShareRoundsToNearest) {
+  // 10% of 999 nodes must select 100 (nearest), not the 99 truncation
+  // gives; 201 nodes at 25% must select 50 (50.25 rounds down).
+  const auto topo999 = make_topology(999, 4, 8);
+  SimulationConfig cfg;
+  cfg.free_rider_share = 0.1;
+  Simulation sim(topo999, cfg, Rng(98));
+  const auto& riders = sim.free_riders();
+  EXPECT_EQ(std::accumulate(riders.begin(), riders.end(), std::size_t{0}),
+            100u);
+
+  const auto topo201 = make_topology(201, 4, 9);
+  SimulationConfig cfg2;
+  cfg2.free_rider_share = 0.25;
+  Simulation sim2(topo201, cfg2, Rng(99));
+  const auto& riders2 = sim2.free_riders();
+  EXPECT_EQ(std::accumulate(riders2.begin(), riders2.end(), std::size_t{0}),
+            50u);
+}
+
+}  // namespace
+}  // namespace fairswap::core

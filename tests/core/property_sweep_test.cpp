@@ -40,7 +40,8 @@ class SimulationInvariants : public ::testing::TestWithParam<Param> {
 
 TEST_P(SimulationInvariants, RequestConservation) {
   const auto& t = sim_->totals();
-  EXPECT_EQ(t.delivered + t.refused + t.failed_routes, t.chunk_requests);
+  EXPECT_EQ(t.delivered + t.refused + t.failed_routes + t.truncated_routes,
+            t.chunk_requests);
 }
 
 TEST_P(SimulationInvariants, TransmissionAccounting) {
@@ -92,7 +93,7 @@ TEST_P(SimulationInvariants, MoneyConservation) {
 
 TEST_P(SimulationInvariants, RoutingMostlySucceeds) {
   const auto& t = sim_->totals();
-  EXPECT_LT(t.failed_routes, t.chunk_requests / 50);
+  EXPECT_LT(t.failed_routes + t.truncated_routes, t.chunk_requests / 50);
 }
 
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {

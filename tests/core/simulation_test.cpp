@@ -47,7 +47,8 @@ TEST(Simulation, RequestAccountingConserved) {
   Simulation sim(topo, fast_config(), Rng(4));
   sim.run(30);
   const auto& t = sim.totals();
-  EXPECT_EQ(t.delivered + t.refused + t.failed_routes, t.chunk_requests);
+  EXPECT_EQ(t.delivered + t.refused + t.failed_routes + t.truncated_routes,
+            t.chunk_requests);
 }
 
 TEST(Simulation, TransmissionsMatchPerNodeCounters) {
