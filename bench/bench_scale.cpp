@@ -1,4 +1,4 @@
-// Scale scenario suite + routing hot-path microbenchmark.
+// Scale scenario suite + routing and ledger hot-path microbenchmarks.
 //
 // Part 1 — routing microbenchmark: on the 1000-node paper grid
 // (k in {4, 20}), routes a batch of random (origin, chunk) pairs through
@@ -6,24 +6,42 @@
 // compiled NodeIndex path (Topology::compiled()), verifies the routes are
 // bit-identical, and reports ns/route plus the speedup (target: >= 5x).
 //
-// Part 2 — scale scenarios: nodes (default 10'000) on a bits (default 20)
+// Part 2 — ledger (debit path) microbenchmark: replays the SWAP debit
+// sequence of those routes through the hash-map SwapNetwork and through
+// the edge-arena EdgeLedger (slots resolved from the routes' edge ids),
+// verifies identical ledger state, and reports ns/debit plus the speedup
+// and the memory cost of each backend.
+//
+// Part 3 — scale scenarios: nodes (default 10'000) on a bits (default 20)
 // -bit address space across k in {4, 20}, driven through the parallel
 // multi-seed run_seeds path; prints fairness aggregates with error bars
-// plus the route accounting (delivered / failed / truncated) and writes
-// scale_routing.csv + scale_totals.csv.
+// plus the route accounting (delivered / failed / truncated). Each cell
+// additionally runs single-seed with the edge ledger and with the map
+// ledger and cross-checks every ledger observable at scale.
+//
+// Outputs: scale_routing.csv, scale_totals.csv, and the machine-readable
+// BENCH_scale.json (schema fairswap.bench_scale.v1 — routing + ledger
+// throughput, equivalence verdicts, memory) that CI uploads as the
+// repo's bench trajectory artifact.
 //
 // Overrides: nodes=<n> bits=<n> files=<n> seeds=<count> threads=<max>
 //            routes=<n> seed=<n> out=<dir>
 #include <chrono>
 #include <cstdio>
+#include <iomanip>
+#include <memory>
 #include <sstream>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "accounting/edge_ledger.hpp"
+#include "accounting/swap.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/multi_run.hpp"
+#include "core/simulation.hpp"
 #include "overlay/compiled_router.hpp"
 #include "overlay/forwarding.hpp"
 
@@ -145,6 +163,179 @@ MicroResult route_microbench(std::size_t k, std::size_t route_count,
   return result;
 }
 
+struct LedgerResult {
+  std::size_t k{0};
+  std::size_t debits{0};
+  double map_ns{0};
+  double edge_ns{0};
+  bool identical{true};
+  std::size_t map_bytes{0};
+  std::size_t edge_bytes{0};
+  std::size_t pair_slots{0};
+
+  [[nodiscard]] double speedup() const { return map_ns / edge_ns; }
+};
+
+/// Replays the per-hop SWAP debit sequence of a route batch through both
+/// ledger backends: the hash lookup per hop (SwapNetwork) vs the edge-id
+/// slot load (EdgeLedger). The debit sequence, prices and settlement
+/// pattern are identical by construction, so any state divergence is a
+/// ledger bug.
+LedgerResult ledger_microbench(std::size_t k, std::size_t route_count,
+                               std::uint64_t seed) {
+  const auto cfg = core::paper_config(k, 1.0, 1, seed);
+  const auto topo = core::build_topology(cfg);
+  const overlay::CompiledRouter& router = topo.compiled();
+
+  Rng rng(seed + 31 * k);
+  std::vector<overlay::NodeIndex> origins(route_count);
+  std::vector<Address> chunks(route_count);
+  for (std::size_t i = 0; i < route_count; ++i) {
+    origins[i] = static_cast<overlay::NodeIndex>(rng.index(topo.node_count()));
+    chunks[i] = Address{static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+  }
+  std::vector<overlay::Route> routes;
+  router.route_batch(origins, chunks, routes);
+
+  // Thresholds low enough that settlements fire regularly: the replay
+  // exercises accrual, settle-to-zero and reactivation, not just inserts.
+  accounting::SwapConfig swap_cfg;
+  swap_cfg.payment_threshold = Token(20'000);
+  swap_cfg.disconnect_threshold = Token(30'000);
+  const Token price(1'000);
+
+  LedgerResult result;
+  result.k = k;
+  for (const auto& r : routes) {
+    if (r.reached_storer) result.debits += r.hops();
+  }
+
+  accounting::SwapNetwork map_ledger(topo.node_count(), swap_cfg);
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& r : routes) {
+    if (!r.reached_storer) continue;
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      (void)map_ledger.debit(r.path[i], r.path[i + 1], price);
+    }
+  }
+  result.map_ns = seconds_since(start) * 1e9 /
+                  static_cast<double>(std::max<std::size_t>(1, result.debits));
+
+  accounting::EdgeLedger edge_ledger(router, swap_cfg);
+  start = std::chrono::steady_clock::now();
+  for (const auto& r : routes) {
+    if (!r.reached_storer) continue;
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      (void)edge_ledger.debit(r.path[i], r.path[i + 1], price,
+                              /*can_settle=*/true, r.edges[i]);
+    }
+  }
+  result.edge_ns = seconds_since(start) * 1e9 /
+                   static_cast<double>(std::max<std::size_t>(1, result.debits));
+
+  result.identical = map_ledger.income() == edge_ledger.income() &&
+                     map_ledger.spent() == edge_ledger.spent() &&
+                     map_ledger.settlements() == edge_ledger.settlements() &&
+                     map_ledger.outstanding_debt() == edge_ledger.outstanding_debt() &&
+                     map_ledger.active_pairs() == edge_ledger.active_pairs();
+  result.map_bytes = map_ledger.memory_bytes();
+  result.edge_bytes = edge_ledger.memory_bytes();
+  result.pair_slots = edge_ledger.pair_count();
+  return result;
+}
+
+struct CellLedgerCheck {
+  double edge_wall_s{0};
+  double map_wall_s{0};
+  bool identical{true};
+  std::size_t edge_bytes{0};
+  std::size_t map_bytes{0};
+  std::uint64_t settlements{0};
+  std::size_t active_pairs{0};
+  /// The edge-backed run packaged as the cell's representative single-seed
+  /// result (reused for totals_csv — no third simulation).
+  core::ExperimentResult edge_result;
+
+  [[nodiscard]] double speedup() const { return map_wall_s / edge_wall_s; }
+};
+
+/// Runs one scale cell single-seed with each ledger backend and
+/// cross-checks every ledger observable — the 10k-node leg of the
+/// differential equivalence suite.
+CellLedgerCheck scale_ledger_check(const core::ExperimentConfig& cfg,
+                                   const overlay::Topology& topo) {
+  auto run_one = [&](bool compiled_ledger, double& wall_s) {
+    auto sim_cfg = cfg.sim;
+    sim_cfg.compiled_ledger = compiled_ledger;
+    Rng root(cfg.seed);
+    Rng sim_rng = root.split(1);
+    auto sim = std::make_unique<core::Simulation>(topo, sim_cfg, sim_rng);
+    const auto start = std::chrono::steady_clock::now();
+    sim->run(cfg.files);
+    wall_s = seconds_since(start);
+    return sim;
+  };
+
+  CellLedgerCheck check;
+  const auto edge_sim = run_one(true, check.edge_wall_s);
+  const auto map_sim = run_one(false, check.map_wall_s);
+  const auto& a = edge_sim->swap();
+  const auto& b = map_sim->swap();
+  check.identical = edge_sim->totals() == map_sim->totals() &&
+                    edge_sim->counters() == map_sim->counters() &&
+                    a.income() == b.income() && a.spent() == b.spent() &&
+                    a.settlements() == b.settlements() &&
+                    a.outstanding_debt() == b.outstanding_debt() &&
+                    a.active_pairs() == b.active_pairs();
+  check.edge_bytes = a.memory_bytes();
+  check.map_bytes = b.memory_bytes();
+  check.settlements = a.settlements().size();
+  check.active_pairs = a.active_pairs();
+  check.edge_result = core::package_experiment(cfg, *edge_sim, check.edge_wall_s);
+  return check;
+}
+
+/// Minimal JSON emitter for BENCH_scale.json. Keys are fixed, values are
+/// numbers/bools/plain labels, so no escaping machinery is needed.
+class JsonWriter {
+ public:
+  JsonWriter() { out_ << std::setprecision(10); }
+
+  void open(const char* key = nullptr) { item(key); out_ << '{'; fresh_ = true; }
+  void close() { out_ << '}'; fresh_ = false; }
+  void open_list(const char* key) { item(key); out_ << '['; fresh_ = true; }
+  void close_list() { out_ << ']'; fresh_ = false; }
+
+  void field(const char* key, double v) { item(key); out_ << v; }
+  void field(const char* key, bool v) { item(key); out_ << (v ? "true" : "false"); }
+  // Template rather than a fixed-width overload: size_t, uint64_t and int
+  // are distinct types across platforms, and a fixed set is ambiguous
+  // somewhere (e.g. size_t on macOS matches neither uint64_t nor double
+  // exactly).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  void field(const char* key, T v) {
+    item(key);
+    out_ << v;
+  }
+  void field(const char* key, const std::string& v) {
+    item(key);
+    out_ << '"' << v << '"';
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str() + "\n"; }
+
+ private:
+  void item(const char* key) {
+    if (!fresh_) out_ << ',';
+    fresh_ = false;
+    if (key) out_ << '"' << key << "\":";
+  }
+
+  std::ostringstream out_;
+  bool fresh_{true};
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +367,7 @@ int main(int argc, char** argv) {
                   "batched_ns_per_route", "speedup", "identical");
   bool all_identical = true;
   double min_speedup = 1e9;
+  std::vector<MicroResult> micro_results;
   for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
     const auto r = route_microbench(k, route_count, args.seed);
     all_identical = all_identical && r.identical;
@@ -187,6 +379,7 @@ int main(int argc, char** argv) {
                    r.identical ? "yes" : "NO"});
     micro_csv.cells(k, r.greedy_ns, r.compiled_ns, r.batched_ns, r.speedup(),
                     r.identical ? 1 : 0);
+    micro_results.push_back(r);
   }
   std::printf("%s", micro.render().c_str());
   if (min_speedup < 5.0) {
@@ -194,7 +387,28 @@ int main(int argc, char** argv) {
                 min_speedup);
   }
 
-  // --- Part 2: scale scenarios through the parallel run_seeds path. ---
+  // --- Part 2: SWAP debit path, hash-map ledger vs edge-arena ledger. ---
+  bench::banner("Ledger hot path: SwapNetwork (hash) vs EdgeLedger (arena) "
+                "(1000 nodes, debit replay)");
+  TextTable ledger_table({"grid cell", "debits", "map ns/debit",
+                          "edge ns/debit", "speedup", "map KiB", "edge KiB",
+                          "bit-identical"});
+  std::vector<LedgerResult> ledger_results;
+  for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
+    const auto r = ledger_microbench(k, route_count, args.seed);
+    all_identical = all_identical && r.identical;
+    ledger_table.add_row(
+        {"k=" + std::to_string(k), std::to_string(r.debits),
+         TextTable::num(r.map_ns, 1), TextTable::num(r.edge_ns, 1),
+         TextTable::num(r.speedup(), 2),
+         TextTable::num(static_cast<double>(r.map_bytes) / 1024.0, 0),
+         TextTable::num(static_cast<double>(r.edge_bytes) / 1024.0, 0),
+         r.identical ? "yes" : "NO"});
+    ledger_results.push_back(r);
+  }
+  std::printf("%s", ledger_table.render().c_str());
+
+  // --- Part 3: scale scenarios through the parallel run_seeds path. ---
   bench::banner("Scale scenarios (" + std::to_string(nodes) + " nodes, " +
                 std::to_string(bits) + "-bit space, " +
                 std::to_string(seed_count) + " seeds x " +
@@ -202,7 +416,18 @@ int main(int argc, char** argv) {
                 std::to_string(threads) + " threads)");
   TextTable table({"scenario", "Gini F2 (income)", "Gini F1", "routing success",
                    "avg forwarded", "wall clock (s)"});
+  TextTable cell_ledger_table({"scenario", "edge wall (s)", "map wall (s)",
+                               "speedup", "edge ledger MiB", "map ledger MiB",
+                               "bit-identical"});
   std::vector<core::ExperimentResult> singles;
+  struct CellRow {
+    std::string label;
+    core::AggregateResult agg;
+    std::size_t router_bytes{0};
+    double wall_s{0};
+    CellLedgerCheck ledger;
+  };
+  std::vector<CellRow> cell_rows;
   for (const auto& cfg :
        core::scale_grid(nodes, bits, args.files, args.seed)) {
     std::printf("running %s (%zu seeds)...\n", cfg.label.c_str(), seed_count);
@@ -220,23 +445,106 @@ int main(int argc, char** argv) {
                    core::mean_pm_std(agg.routing_success),
                    core::mean_pm_std(agg.avg_forwarded, 0),
                    TextTable::num(elapsed, 1)});
-    // One representative single-seed run for the route-accounting CSV.
-    singles.push_back(core::run_experiment(topo, cfg));
+    // Single-seed edge-vs-map ledger differential at full scale; its
+    // edge-backed run doubles as the representative single for the
+    // route-accounting CSV.
+    const auto check = scale_ledger_check(cfg, topo);
+    singles.push_back(check.edge_result);
+    all_identical = all_identical && check.identical;
+    cell_ledger_table.add_row(
+        {cfg.label, TextTable::num(check.edge_wall_s, 2),
+         TextTable::num(check.map_wall_s, 2),
+         TextTable::num(check.speedup(), 2),
+         TextTable::num(static_cast<double>(check.edge_bytes) / (1024.0 * 1024.0), 1),
+         TextTable::num(static_cast<double>(check.map_bytes) / (1024.0 * 1024.0), 1),
+         check.identical ? "yes" : "NO"});
+    cell_rows.push_back(
+        {cfg.label, agg, topo.compiled().memory_bytes(), elapsed, check});
   }
   std::printf("%s", table.render().c_str());
+  bench::banner("Ledger differential at scale (single seed per cell)");
+  std::printf("%s", cell_ledger_table.render().c_str());
   for (const auto& r : singles) {
     std::printf("%s", core::summarize_result(r).c_str());
   }
+
+  // --- Machine-readable roll-up: BENCH_scale.json. ---
+  JsonWriter json;
+  json.open();
+  json.field("schema", std::string("fairswap.bench_scale.v1"));
+  json.open("config");
+  json.field("nodes", nodes);
+  json.field("bits", static_cast<std::uint64_t>(bits));
+  json.field("files", static_cast<std::uint64_t>(args.files));
+  json.field("seeds", seed_count);
+  json.field("threads", threads);
+  json.field("routes", route_count);
+  json.field("seed", args.seed);
+  json.close();
+  json.open_list("routing");
+  for (const auto& r : micro_results) {
+    json.open();
+    json.field("k", r.k);
+    json.field("greedy_ns_per_route", r.greedy_ns);
+    json.field("compiled_ns_per_route", r.compiled_ns);
+    json.field("batched_ns_per_route", r.batched_ns);
+    json.field("speedup", r.speedup());
+    json.field("identical", r.identical);
+    json.close();
+  }
+  json.close_list();
+  json.open_list("ledger");
+  for (const auto& r : ledger_results) {
+    json.open();
+    json.field("k", r.k);
+    json.field("debits", r.debits);
+    json.field("map_ns_per_debit", r.map_ns);
+    json.field("edge_ns_per_debit", r.edge_ns);
+    json.field("speedup", r.speedup());
+    json.field("identical", r.identical);
+    json.field("map_memory_bytes", r.map_bytes);
+    json.field("edge_memory_bytes", r.edge_bytes);
+    json.field("pair_slots", r.pair_slots);
+    json.close();
+  }
+  json.close_list();
+  json.open_list("scale");
+  for (const auto& c : cell_rows) {
+    json.open();
+    json.field("label", c.label);
+    json.field("gini_f2_mean", c.agg.gini_f2.mean());
+    json.field("gini_f2_std", c.agg.gini_f2.stddev());
+    json.field("gini_f1_mean", c.agg.gini_f1.mean());
+    json.field("routing_success_mean", c.agg.routing_success.mean());
+    json.field("avg_forwarded_mean", c.agg.avg_forwarded.mean());
+    json.field("wall_clock_s", c.wall_s);
+    json.field("compiled_router_bytes", c.router_bytes);
+    json.open("ledger");
+    json.field("edge_wall_s", c.ledger.edge_wall_s);
+    json.field("map_wall_s", c.ledger.map_wall_s);
+    json.field("speedup", c.ledger.speedup());
+    json.field("identical", c.ledger.identical);
+    json.field("edge_memory_bytes", c.ledger.edge_bytes);
+    json.field("map_memory_bytes", c.ledger.map_bytes);
+    json.field("settlements", c.ledger.settlements);
+    json.field("active_pairs", c.ledger.active_pairs);
+    json.close();
+    json.close();
+  }
+  json.close_list();
+  json.close();
 
   core::write_text_file(args.out_dir + "/scale_routing.csv",
                         micro_csv_text.str());
   core::write_text_file(args.out_dir + "/scale_totals.csv",
                         core::totals_csv(bench::as_ptrs(singles)));
-  std::printf("wrote %s/scale_routing.csv and %s/scale_totals.csv\n",
-              args.out_dir.c_str(), args.out_dir.c_str());
+  core::write_text_file(args.out_dir + "/BENCH_scale.json", json.str());
+  std::printf("wrote %s/{scale_routing.csv, scale_totals.csv, BENCH_scale.json}\n",
+              args.out_dir.c_str());
 
   if (!all_identical) {
-    std::printf("ERROR: compiled routes diverged from the greedy reference\n");
+    std::printf("ERROR: a compiled path diverged from its reference "
+                "(routing and/or ledger)\n");
     return 1;
   }
   return 0;

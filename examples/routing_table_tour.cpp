@@ -56,7 +56,7 @@ int main() {
 
   // Who gets paid? Swarm's default: only the zero-proximity first hop.
   accounting::SwapConfig swap_cfg;
-  accounting::SwapNetwork swap(topo.node_count(), swap_cfg);
+  accounting::Ledger swap(topo.node_count(), swap_cfg);
   const auto pricer = accounting::make_pricer("xor-distance");
   std::vector<std::uint8_t> no_riders;
   incentives::PolicyContext ctx{&topo, &swap, pricer.get(), &no_riders};

@@ -1,0 +1,174 @@
+#include "accounting/edge_ledger.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fairswap::accounting {
+
+EdgeLedger::EdgeLedger(const overlay::CompiledRouter& router, SwapConfig config)
+    : router_(&router),
+      config_(config),
+      income_(router.node_count()),
+      spent_(router.node_count()) {
+  assert(config.disconnect_threshold >= config.payment_threshold);
+
+  // Group every directed edge under its unordered pair's lower endpoint,
+  // then number pairs densely in (lo, hi) order. Sorting per lo-bucket
+  // replaces any hash-keyed dedup: deterministic slot ids, no packed keys.
+  struct HalfEdge {
+    NodeIndex hi;
+    EdgeId edge;
+  };
+  const auto node_count = static_cast<NodeIndex>(router.node_count());
+  std::vector<std::vector<HalfEdge>> by_lo(node_count);
+  edge_slot_.assign(router.edge_count(), kNoSlot);
+  for (NodeIndex u = 0; u < node_count; ++u) {
+    const auto [begin, end] = router.node_edge_range(u);
+    for (EdgeId e = begin; e < end; ++e) {
+      const NodeIndex v = router.edge_target(e);
+      if (v == overlay::CompiledRouter::kForeignPeer || v == u) continue;
+      by_lo[u < v ? u : v].push_back({u < v ? v : u, e});
+    }
+  }
+  for (NodeIndex lo = 0; lo < node_count; ++lo) {
+    auto& half = by_lo[lo];
+    std::sort(half.begin(), half.end(),
+              [](const HalfEdge& a, const HalfEdge& b) { return a.hi < b.hi; });
+    for (std::size_t i = 0; i < half.size(); ++i) {
+      if (i == 0 || half[i].hi != half[i - 1].hi) {
+        pair_lo_.push_back(lo);
+        pair_hi_.push_back(half[i].hi);
+      }
+      edge_slot_[half[i].edge] = static_cast<std::uint32_t>(pair_lo_.size() - 1);
+    }
+  }
+  pair_balance_.assign(pair_lo_.size(), Token(0));
+  pair_active_pos_.assign(pair_lo_.size(), kInactive);
+}
+
+std::uint32_t EdgeLedger::slot_of(NodeIndex a, NodeIndex b) const noexcept {
+  for (const NodeIndex from : {a, b}) {
+    const NodeIndex to = from == a ? b : a;
+    const auto [begin, end] = router_->node_edge_range(from);
+    for (EdgeId e = begin; e < end; ++e) {
+      if (router_->edge_target(e) == to) return edge_slot_[e];
+    }
+  }
+  return kNoSlot;
+}
+
+DebitResult EdgeLedger::debit(NodeIndex consumer, NodeIndex provider,
+                              Token amount, bool can_settle, EdgeId edge) {
+  assert(consumer != provider);
+  assert(!amount.negative());
+  assert(edge == kNoEdge || router_->edge_target(edge) == provider);
+  const std::uint32_t slot =
+      edge != kNoEdge ? edge_slot_[edge] : slot_of(consumer, provider);
+  if (slot == kNoSlot) {
+    throw std::invalid_argument(
+        "EdgeLedger::debit: node pair shares no routing-table edge");
+  }
+
+  Token& bal = pair_balance_[slot];
+  const bool provider_is_lo = (pair_lo_[slot] == provider);
+  const Token provider_credit = provider_is_lo ? bal : -bal;
+  const Token new_credit = provider_credit + amount;
+
+  if (new_credit > config_.disconnect_threshold &&
+      !(can_settle && new_credit >= config_.payment_threshold)) {
+    return DebitResult::kDisconnected;
+  }
+
+  if (can_settle && new_credit >= config_.payment_threshold) {
+    income_[provider] += new_credit;
+    spent_[consumer] += new_credit;
+    settlements_.push_back({consumer, provider, new_credit, tick_});
+    if (!bal.is_zero()) {
+      bal = Token(0);
+      deactivate(slot);
+    }
+    return DebitResult::kSettled;
+  }
+
+  const Token new_bal = provider_is_lo ? new_credit : -new_credit;
+  if (bal.is_zero() != new_bal.is_zero()) {
+    if (new_bal.is_zero()) {
+      deactivate(slot);
+    } else {
+      activate(slot);
+    }
+  }
+  bal = new_bal;
+  return DebitResult::kOk;
+}
+
+void EdgeLedger::pay_direct(NodeIndex consumer, NodeIndex provider, Token amount) {
+  assert(consumer != provider);
+  assert(!amount.negative());
+  income_[provider] += amount;
+  spent_[consumer] += amount;
+  settlements_.push_back({consumer, provider, amount, tick_});
+}
+
+void EdgeLedger::mint(NodeIndex node, Token amount) {
+  assert(!amount.negative());
+  income_[node] += amount;
+}
+
+Token EdgeLedger::balance(NodeIndex provider, NodeIndex peer, EdgeId edge) const {
+  const std::uint32_t slot =
+      edge != kNoEdge ? edge_slot_[edge] : slot_of(provider, peer);
+  if (slot == kNoSlot) return Token(0);
+  assert(pair_lo_[slot] == provider || pair_hi_[slot] == provider);
+  const Token bal = pair_balance_[slot];
+  return pair_lo_[slot] == provider ? bal : -bal;
+}
+
+std::size_t EdgeLedger::amortize_tick() {
+  ++tick_;
+  const Token step = config_.amortization_per_tick;
+  if (step.is_zero()) return 0;
+  std::size_t zeroed = 0;
+  // Swap-with-last removal fills position i with a not-yet-visited slot,
+  // so i only advances when the slot at i survives.
+  for (std::size_t i = 0; i < active_.size();) {
+    const std::uint32_t slot = active_[i];
+    Token& bal = pair_balance_[slot];
+    if (bal.abs() <= step) {
+      bal = Token(0);
+      ++zeroed;
+      deactivate(slot);
+    } else {
+      bal += bal.negative() ? step : -step;
+      ++i;
+    }
+  }
+  return zeroed;
+}
+
+Token EdgeLedger::outstanding_debt() const {
+  Token total;
+  for (const std::uint32_t slot : active_) total += pair_balance_[slot].abs();
+  return total;
+}
+
+void EdgeLedger::for_each_pair(
+    const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const {
+  for (const std::uint32_t slot : active_) {
+    fn(pair_lo_[slot], pair_hi_[slot], pair_balance_[slot]);
+  }
+}
+
+std::size_t EdgeLedger::memory_bytes() const noexcept {
+  return edge_slot_.size() * sizeof(std::uint32_t) +
+         pair_lo_.size() * sizeof(NodeIndex) +
+         pair_hi_.size() * sizeof(NodeIndex) +
+         pair_balance_.size() * sizeof(Token) +
+         pair_active_pos_.size() * sizeof(std::uint32_t) +
+         active_.capacity() * sizeof(std::uint32_t) +
+         income_.size() * sizeof(Token) + spent_.size() * sizeof(Token) +
+         settlements_.capacity() * sizeof(Settlement);
+}
+
+}  // namespace fairswap::accounting

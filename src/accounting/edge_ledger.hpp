@@ -1,0 +1,159 @@
+// Compiled SWAP ledger — balance slots on the router's edge arena.
+//
+// The pair set of the SWAP ledger is exactly the static peer-edge set the
+// compiled router already flattened into its CSR arena: every debit the
+// simulator issues runs along a route hop, and every route hop is a
+// directed routing-table edge. So instead of hashing a packed (lo, hi)
+// node-pair key per hop (SwapNetwork's std::unordered_map — the simulator
+// hot spot once routing was compiled), this ledger:
+//
+//  * allocates one balance slot per *unordered* connected pair, numbered
+//    densely in (lo, hi) order at construction;
+//  * maps every directed arena edge to its pair slot in a flat
+//    `edge_slot_` array, so a debit resolves its slot with a single
+//    indexed load from the edge id the router produced anyway
+//    (CompiledRouter::next_hop_edge — the id is a byproduct of the argmin);
+//  * keeps the slots with a nonzero balance on an intrusive active list
+//    (each slot stores its own position, giving O(1) insert/remove via
+//    swap-with-last), so amortize_tick, outstanding_debt, for_each_pair
+//    and active_pairs touch only live balances instead of every pair the
+//    run ever created.
+//
+// No packed keys anywhere: slots are plain array indices, so the ledger is
+// immune to the NodeIndex-width truncation hazard static_assert'ed next to
+// SwapNetwork::pair_key.
+//
+// Exactness: debit/pay_direct/mint/amortize_tick are the same arithmetic
+// as SwapNetwork over the same per-pair state, reached through an index
+// instead of a hash — tests/accounting/ledger_equivalence_test.cpp and
+// tests/core/compiled_equivalence_test.cpp enforce bit-identical
+// observable state (balances, settlements, income/spent, totals).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "accounting/swap.hpp"
+#include "common/token.hpp"
+#include "overlay/compiled_router.hpp"
+
+namespace fairswap::accounting {
+
+using overlay::EdgeId;
+using overlay::kNoEdge;
+using overlay::NodeIndex;
+
+/// Arena-backed pairwise balance ledger over a CompiledRouter's edge set.
+/// The router must outlive the ledger. Only pairs connected by at least
+/// one routing-table edge can hold a balance — exactly the pairs SWAP
+/// accounting can ever touch in a forwarding-Kademlia simulation.
+class EdgeLedger {
+ public:
+  EdgeLedger(const overlay::CompiledRouter& router, SwapConfig config);
+
+  /// Same contract as SwapNetwork::debit. `edge` is the arena id of the
+  /// directed consumer -> provider table edge (Route::edge(i) for hop i);
+  /// passing it makes slot resolution one load. With kNoEdge the slot is
+  /// found by scanning the consumer's CSR slab (O(degree); test/diagnostic
+  /// convenience only). Throws std::invalid_argument if the pair is not
+  /// connected by any table edge — such a debit cannot occur on a routed
+  /// path and would be silently mis-accounted otherwise.
+  DebitResult debit(NodeIndex consumer, NodeIndex provider, Token amount,
+                    bool can_settle = true, EdgeId edge = kNoEdge);
+
+  /// Same contract as SwapNetwork::pay_direct (income/spent/settlement
+  /// log only; balances untouched, so no slot resolution is needed).
+  void pay_direct(NodeIndex consumer, NodeIndex provider, Token amount);
+
+  /// Same contract as SwapNetwork::mint.
+  void mint(NodeIndex node, Token amount);
+
+  /// `provider`'s view of its balance with `peer` (positive = peer owes
+  /// provider). `edge` may be any arena edge connecting the two, in
+  /// either direction; with kNoEdge the slot is scanned for. Unconnected
+  /// pairs have no slot and are reported as the zero they hold.
+  [[nodiscard]] Token balance(NodeIndex provider, NodeIndex peer,
+                              EdgeId edge = kNoEdge) const;
+
+  /// Same contract as SwapNetwork::amortize_tick, but walks only the
+  /// active list, not every pair ever seen.
+  std::size_t amortize_tick();
+
+  void advance_tick() noexcept { ++tick_; }
+
+  [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
+  [[nodiscard]] const SwapConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<Token>& income() const noexcept { return income_; }
+  [[nodiscard]] const std::vector<Token>& spent() const noexcept { return spent_; }
+  [[nodiscard]] const std::vector<Settlement>& settlements() const noexcept {
+    return settlements_;
+  }
+
+  /// Sum of |balance| over the active pairs.
+  [[nodiscard]] Token outstanding_debt() const;
+
+  /// Number of pairs with a nonzero balance (the active-list length).
+  [[nodiscard]] std::size_t active_pairs() const noexcept { return active_.size(); }
+
+  /// Visits every pair with a nonzero balance as (low_node, high_node,
+  /// balance_from_low's perspective). Visit order is unspecified (the
+  /// active list reorders on removal).
+  void for_each_pair(
+      const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const;
+
+  /// Total connected unordered pairs (== allocated balance slots).
+  [[nodiscard]] std::size_t pair_count() const noexcept { return pair_lo_.size(); }
+
+  /// Bytes held by the arena arrays (edge->slot map, balance slots,
+  /// active list, income/spent, settlement log) — the memory cost of
+  /// trading the hash map for O(1) slots, reported by bench_scale.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  /// Slot sentinel for edges with no pair (foreign targets).
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  /// active_pos_ sentinel: slot not on the active list (balance is zero).
+  static constexpr std::uint32_t kInactive = 0xFFFFFFFFu;
+
+  /// Pair slot for (a, b) found by scanning a's slab, then b's. kNoSlot
+  /// when the nodes share no table edge.
+  [[nodiscard]] std::uint32_t slot_of(NodeIndex a, NodeIndex b) const noexcept;
+
+  void activate(std::uint32_t slot) {
+    pair_active_pos_[slot] = static_cast<std::uint32_t>(active_.size());
+    active_.push_back(slot);
+  }
+
+  void deactivate(std::uint32_t slot) noexcept {
+    const std::uint32_t pos = pair_active_pos_[slot];
+    const std::uint32_t last = active_.back();
+    active_[pos] = last;
+    pair_active_pos_[last] = pos;
+    active_.pop_back();
+    pair_active_pos_[slot] = kInactive;
+  }
+
+  const overlay::CompiledRouter* router_;
+  SwapConfig config_;
+
+  /// Directed arena edge -> balance slot of its unordered pair (kNoSlot
+  /// for foreign-target edges). Indexed by CompiledRouter edge ids.
+  std::vector<std::uint32_t> edge_slot_;
+  /// Balance slots, parallel arrays in (lo, hi) order. pair_balance_ is
+  /// from the lower-indexed node's perspective: positive = hi owes lo.
+  std::vector<NodeIndex> pair_lo_;
+  std::vector<NodeIndex> pair_hi_;
+  std::vector<Token> pair_balance_;
+  /// Intrusive active-list position per slot (kInactive when zero).
+  std::vector<std::uint32_t> pair_active_pos_;
+  /// Slots with nonzero balance, unordered.
+  std::vector<std::uint32_t> active_;
+
+  std::vector<Token> income_;
+  std::vector<Token> spent_;
+  std::vector<Settlement> settlements_;
+  std::uint64_t tick_{0};
+};
+
+}  // namespace fairswap::accounting

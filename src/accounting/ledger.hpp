@@ -1,0 +1,123 @@
+// Ledger — the SWAP ledger behind one of two interchangeable backends.
+//
+// core::Simulation and the payment policies talk to this thin dispatcher
+// rather than to a concrete ledger, so SimulationConfig::compiled_ledger
+// can flip between:
+//
+//  * EdgeLedger — balance slots on the compiled router's CSR edge arena,
+//    resolved by the edge ids routing produces anyway (the fast path), and
+//  * SwapNetwork — the hash-map reference implementation, kept bit-exact
+//    in the same pattern as the compiled_routing/greedy-walk pair.
+//
+// Dispatch is a single has_value() branch per call (perfectly predicted —
+// the backend never changes during a run), not a virtual call; the debit
+// hot path stays inlinable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "accounting/edge_ledger.hpp"
+#include "accounting/swap.hpp"
+
+namespace fairswap::accounting {
+
+class Ledger {
+ public:
+  /// Map-backed (SwapNetwork reference) ledger.
+  Ledger(std::size_t node_count, SwapConfig config)
+      : map_(std::in_place, node_count, config) {}
+
+  /// Edge-arena-backed ledger over the compiled router.
+  Ledger(const overlay::CompiledRouter& router, SwapConfig config)
+      : edge_(std::in_place, router, config) {}
+
+  [[nodiscard]] bool edge_backed() const noexcept { return edge_.has_value(); }
+
+  /// The concrete backends, for tests and benches that need them. The
+  /// non-selected backend is nullptr.
+  [[nodiscard]] const SwapNetwork* map_ledger() const noexcept {
+    return map_ ? &*map_ : nullptr;
+  }
+  [[nodiscard]] const EdgeLedger* edge_ledger() const noexcept {
+    return edge_ ? &*edge_ : nullptr;
+  }
+
+  /// See SwapNetwork::debit. `edge` (Route::edge(i) for hop i) lets the
+  /// edge backend resolve its balance slot with one load; the map backend
+  /// ignores it.
+  DebitResult debit(NodeIndex consumer, NodeIndex provider, Token amount,
+                    bool can_settle = true, EdgeId edge = kNoEdge) {
+    return map_ ? map_->debit(consumer, provider, amount, can_settle)
+                : edge_->debit(consumer, provider, amount, can_settle, edge);
+  }
+
+  void pay_direct(NodeIndex consumer, NodeIndex provider, Token amount) {
+    map_ ? map_->pay_direct(consumer, provider, amount)
+         : edge_->pay_direct(consumer, provider, amount);
+  }
+
+  void mint(NodeIndex node, Token amount) {
+    map_ ? map_->mint(node, amount) : edge_->mint(node, amount);
+  }
+
+  [[nodiscard]] Token balance(NodeIndex provider, NodeIndex peer,
+                              EdgeId edge = kNoEdge) const {
+    return map_ ? map_->balance(provider, peer)
+                : edge_->balance(provider, peer, edge);
+  }
+
+  std::size_t amortize_tick() {
+    return map_ ? map_->amortize_tick() : edge_->amortize_tick();
+  }
+
+  void advance_tick() noexcept {
+    map_ ? map_->advance_tick() : edge_->advance_tick();
+  }
+
+  [[nodiscard]] std::uint64_t tick() const noexcept {
+    return map_ ? map_->tick() : edge_->tick();
+  }
+
+  [[nodiscard]] const SwapConfig& config() const noexcept {
+    return map_ ? map_->config() : edge_->config();
+  }
+
+  [[nodiscard]] const std::vector<Token>& income() const noexcept {
+    return map_ ? map_->income() : edge_->income();
+  }
+
+  [[nodiscard]] const std::vector<Token>& spent() const noexcept {
+    return map_ ? map_->spent() : edge_->spent();
+  }
+
+  [[nodiscard]] const std::vector<Settlement>& settlements() const noexcept {
+    return map_ ? map_->settlements() : edge_->settlements();
+  }
+
+  [[nodiscard]] Token outstanding_debt() const {
+    return map_ ? map_->outstanding_debt() : edge_->outstanding_debt();
+  }
+
+  [[nodiscard]] std::size_t active_pairs() const noexcept {
+    return map_ ? map_->active_pairs() : edge_->active_pairs();
+  }
+
+  void for_each_pair(
+      const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const {
+    map_ ? map_->for_each_pair(fn) : edge_->for_each_pair(fn);
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return map_ ? map_->memory_bytes() : edge_->memory_bytes();
+  }
+
+ private:
+  // Exactly one backend is engaged, fixed at construction.
+  std::optional<SwapNetwork> map_;
+  std::optional<EdgeLedger> edge_;
+};
+
+}  // namespace fairswap::accounting

@@ -15,7 +15,12 @@ DebitResult SwapNetwork::debit(NodeIndex consumer, NodeIndex provider, Token amo
   assert(!amount.negative());
   const NodeIndex lo = consumer < provider ? consumer : provider;
   const NodeIndex hi = consumer < provider ? provider : consumer;
-  Token& bal = balances_[pair_key(lo, hi)];
+  // Look up before inserting: a refused debit must not materialize a
+  // phantom zero-balance pair that active_pairs / amortize_tick /
+  // for_each_pair would then scan forever.
+  const std::uint64_t key = pair_key(lo, hi);
+  const auto it = balances_.find(key);
+  const Token bal = it != balances_.end() ? it->second : Token(0);
 
   // Normalize to the provider's perspective: provider_credit = how much
   // the consumer owes the provider after this service.
@@ -33,11 +38,20 @@ DebitResult SwapNetwork::debit(NodeIndex consumer, NodeIndex provider, Token amo
     income_[provider] += new_credit;
     spent_[consumer] += new_credit;
     settlements_.push_back({consumer, provider, new_credit, tick_});
-    bal = Token(0);
+    if (it != balances_.end()) balances_.erase(it);
     return DebitResult::kSettled;
   }
 
-  bal = provider_is_lo ? new_credit : -new_credit;
+  const Token new_bal = provider_is_lo ? new_credit : -new_credit;
+  if (new_bal.is_zero()) {
+    // Opposite service exactly cancelled the debt: drop the entry to keep
+    // the entry-iff-nonzero invariant behind active_pairs().
+    if (it != balances_.end()) balances_.erase(it);
+  } else if (it != balances_.end()) {
+    it->second = new_bal;
+  } else {
+    balances_.emplace(key, new_bal);
+  }
   return DebitResult::kOk;
 }
 
@@ -67,15 +81,16 @@ std::size_t SwapNetwork::amortize_tick() {
   const Token step = config_.amortization_per_tick;
   if (step.is_zero()) return 0;
   std::size_t zeroed = 0;
-  for (auto& [key, bal] : balances_) {
-    if (bal.is_zero()) continue;
+  for (auto it = balances_.begin(); it != balances_.end();) {
+    Token& bal = it->second;
     if (bal.abs() <= step) {
-      bal = Token(0);
+      // Fully forgiven: erase rather than keep a dead zero entry, so
+      // active_pairs() and the scans stay proportional to live pairs.
       ++zeroed;
-    } else if (bal.negative()) {
-      bal += step;
+      it = balances_.erase(it);
     } else {
-      bal -= step;
+      bal += bal.negative() ? step : -step;
+      ++it;
     }
   }
   return zeroed;
@@ -85,6 +100,16 @@ Token SwapNetwork::outstanding_debt() const {
   Token total;
   for (const auto& [key, bal] : balances_) total += bal.abs();
   return total;
+}
+
+std::size_t SwapNetwork::memory_bytes() const noexcept {
+  // libstdc++-shaped estimate: one bucket pointer per bucket plus one
+  // heap node (key, value, hash cache, next pointer) per entry.
+  using MapNode = std::pair<const std::uint64_t, Token>;
+  return balances_.bucket_count() * sizeof(void*) +
+         balances_.size() * (sizeof(MapNode) + 2 * sizeof(void*)) +
+         income_.size() * sizeof(Token) + spent_.size() * sizeof(Token) +
+         settlements_.capacity() * sizeof(Settlement);
 }
 
 void SwapNetwork::for_each_pair(

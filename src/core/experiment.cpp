@@ -29,6 +29,15 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
   Simulation sim(topo, config.sim, sim_rng);
   sim.run(config.files);
 
+  return package_experiment(
+      config, sim,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+ExperimentResult package_experiment(const ExperimentConfig& config,
+                                    const Simulation& sim,
+                                    double runtime_seconds) {
   ExperimentResult result;
   result.config = config;
   result.totals = sim.totals();
@@ -53,9 +62,7 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
   for (const double v : result.income_per_node) result.total_income += v;
   result.outstanding_debt =
       static_cast<double>(sim.swap().outstanding_debt().base_units());
-  result.runtime_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.runtime_seconds = runtime_seconds;
   return result;
 }
 

@@ -56,6 +56,14 @@ struct ExperimentResult {
 /// Runs an experiment end to end (topology built from config.seed).
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
 
+/// Packages a finished simulation's counters into an ExperimentResult —
+/// the collection half of run_experiment, exposed so callers that drive a
+/// Simulation themselves (e.g. bench_scale's ledger differential) reuse
+/// one run for both purposes instead of re-simulating.
+[[nodiscard]] ExperimentResult package_experiment(const ExperimentConfig& config,
+                                                  const Simulation& sim,
+                                                  double runtime_seconds);
+
 /// Runs against an already-built topology (the paper reuses one overlay
 /// for multiple simulations). The topology must match config.topology in
 /// node count.

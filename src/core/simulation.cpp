@@ -10,6 +10,22 @@
 
 namespace fairswap::core {
 
+namespace {
+
+/// The edge-arena ledger keys its slots by the edge ids compiled routes
+/// carry; the reference walk carries none, so it falls back to the map
+/// ledger (on which the edge hints are no-ops anyway).
+accounting::Ledger make_ledger(const SimulationConfig& config,
+                               const overlay::CompiledRouter& router,
+                               std::size_t node_count) {
+  if (config.compiled_ledger && config.compiled_routing) {
+    return accounting::Ledger(router, config.swap);
+  }
+  return accounting::Ledger(node_count, config.swap);
+}
+
+}  // namespace
+
 Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config, Rng rng)
     : Simulation(topo, config, incentives::make_policy(config.policy), rng) {}
 
@@ -17,7 +33,8 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
                        std::unique_ptr<incentives::PaymentPolicy> policy, Rng rng)
     : topo_(&topo),
       config_(std::move(config)),
-      swap_(topo.node_count(), config_.swap),
+      router_(topo.compiled_shared()),
+      swap_(make_ledger(config_, *router_, topo.node_count())),
       pricer_(accounting::make_pricer(config_.pricer)),
       policy_(std::move(policy)),
       counters_(topo.node_count()),
@@ -68,7 +85,7 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
   note_request(originator, is_upload);
 
   const bool compiled = config_.compiled_routing;
-  const overlay::CompiledRouter& router = topo_->compiled();
+  const overlay::CompiledRouter& router = *router_;
   const NodeIndex storer =
       compiled ? router.storer_of(chunk) : topo_->closest_node(chunk);
   const bool caching = config_.cache_capacity > 0;
@@ -102,8 +119,11 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
       break;
     }
     NodeIndex next;
+    overlay::EdgeId edge = overlay::kNoEdge;
     if (compiled) {
-      next = router.next_hop(cur, chunk);
+      const auto hop = router.next_hop_edge(cur, chunk);
+      next = hop.next;
+      edge = hop.edge;
     } else {
       const auto peer = topo_->table(cur).next_hop(chunk);
       if (!peer) {
@@ -120,6 +140,7 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
     if (next == overlay::kNoNextHop) break;
     cur = next;
     route.path.push_back(cur);
+    if (compiled) route.edges.push_back(edge);
   }
   route.reached_storer = found;
 
@@ -180,8 +201,8 @@ void Simulation::apply(const workload::DownloadRequest& request) {
   // bit-identical to the per-chunk path.
   if (config_.compiled_routing && config_.cache_capacity == 0) {
     origins_buf_.assign(request.chunks.size(), request.originator);
-    topo_->compiled().route_batch(origins_buf_, request.chunks, routes_buf_,
-                                  config_.max_route_hops);
+    router_->route_batch(origins_buf_, request.chunks, routes_buf_,
+                         config_.max_route_hops);
     for (const auto& route : routes_buf_) {
       note_request(request.originator, request.is_upload);
       account(route, /*from_cache=*/false);

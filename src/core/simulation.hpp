@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "accounting/ledger.hpp"
 #include "accounting/pricing.hpp"
-#include "accounting/swap.hpp"
 #include "common/rng.hpp"
 #include "incentives/policy.hpp"
 #include "overlay/forwarding.hpp"
@@ -47,6 +47,14 @@ struct SimulationConfig {
   /// produce bit-identical counters — see
   /// tests/core/compiled_equivalence_test.cpp.
   bool compiled_routing{true};
+  /// Keep SWAP balances in the edge-arena ledger (accounting/edge_ledger,
+  /// default) instead of the hash-map SwapNetwork reference. Takes effect
+  /// only together with compiled_routing (the arena slots are resolved
+  /// from the edge ids compiled routes carry); both backends produce
+  /// bit-identical balances, settlements and incomes — see
+  /// tests/accounting/ledger_equivalence_test.cpp and
+  /// tests/core/compiled_equivalence_test.cpp.
+  bool compiled_ledger{true};
   /// Hop cap per route; 0 = the default 4x address bits. Routes cut by the
   /// cap count as truncated_routes, not failed_routes.
   std::size_t max_route_hops{0};
@@ -126,8 +134,8 @@ class Simulation {
     return counters_;
   }
   [[nodiscard]] const SimulationTotals& totals() const noexcept { return totals_; }
-  [[nodiscard]] const accounting::SwapNetwork& swap() const noexcept { return swap_; }
-  [[nodiscard]] accounting::SwapNetwork& swap() noexcept { return swap_; }
+  [[nodiscard]] const accounting::Ledger& swap() const noexcept { return swap_; }
+  [[nodiscard]] accounting::Ledger& swap() noexcept { return swap_; }
   [[nodiscard]] const incentives::PaymentPolicy& policy() const noexcept {
     return *policy_;
   }
@@ -170,7 +178,12 @@ class Simulation {
 
   const overlay::Topology* topo_;
   SimulationConfig config_;
-  accounting::SwapNetwork swap_;
+  /// The compiled-router snapshot this simulation routes and accounts
+  /// over, pinned at construction: Route edge ids and the edge ledger's
+  /// slots index this arena, so a later Topology::inject_table_entry
+  /// recompile must neither free it nor swap it out from under us.
+  std::shared_ptr<const overlay::CompiledRouter> router_;
+  accounting::Ledger swap_;
   std::unique_ptr<accounting::Pricer> pricer_;
   std::unique_ptr<incentives::PaymentPolicy> policy_;
   std::unique_ptr<workload::DownloadGenerator> generator_;

@@ -14,7 +14,7 @@ void EffortBasedPolicy::on_delivery(PolicyContext& ctx, const Route& route) {
   for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
     (void)ctx.swap->debit(route.path[i], route.path[i + 1],
                           ctx.price(route.path[i + 1], route.target),
-                          /*can_settle=*/false);
+                          /*can_settle=*/false, route.edge(i));
   }
 }
 

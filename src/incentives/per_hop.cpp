@@ -9,7 +9,7 @@ bool PerHopSwapPolicy::admit(PolicyContext& ctx, const Route& route) {
     const NodeIndex consumer = route.path[i];
     const NodeIndex provider = route.path[i + 1];
     if (!ctx.is_free_rider(consumer)) continue;  // solvent peers always settle
-    const Token debt = ctx.swap->balance(provider, consumer);
+    const Token debt = ctx.swap->balance(provider, consumer, route.edge(i));
     const Token price = ctx.price(provider, route.target);
     if (debt + price > ctx.swap->config().disconnect_threshold) return false;
   }
@@ -25,7 +25,8 @@ void PerHopSwapPolicy::on_delivery(PolicyContext& ctx, const Route& route) {
     // payment threshold); free riders never settle, their debt just
     // accrues until admit() starts refusing them.
     (void)ctx.swap->debit(consumer, provider, price,
-                          /*can_settle=*/!ctx.is_free_rider(consumer));
+                          /*can_settle=*/!ctx.is_free_rider(consumer),
+                          route.edge(i));
   }
 }
 

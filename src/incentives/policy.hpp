@@ -13,15 +13,15 @@
 #include <string>
 #include <vector>
 
+#include "accounting/ledger.hpp"
 #include "accounting/pricing.hpp"
-#include "accounting/swap.hpp"
 #include "overlay/forwarding.hpp"
 #include "overlay/topology.hpp"
 
 namespace fairswap::incentives {
 
+using accounting::Ledger;
 using accounting::Pricer;
-using accounting::SwapNetwork;
 using overlay::NodeIndex;
 using overlay::Route;
 using overlay::Topology;
@@ -29,7 +29,10 @@ using overlay::Topology;
 /// Everything a policy may consult or mutate when reacting to a delivery.
 struct PolicyContext {
   const Topology* topo{nullptr};
-  SwapNetwork* swap{nullptr};
+  /// The SWAP ledger behind either backend (see accounting/ledger.hpp).
+  /// Policies pass Route::edge(i) hints so the edge backend resolves its
+  /// balance slots without hashing.
+  Ledger* swap{nullptr};
   const Pricer* pricer{nullptr};
   /// Per-node flag: free riders consume service but never issue payments
   /// (the §V misbehaviour extension). Empty = no free riders.

@@ -43,6 +43,9 @@ class TitForTatPolicy final : public PaymentPolicy {
   [[nodiscard]] std::uint64_t choked_deliveries() const noexcept { return choked_; }
 
  private:
+  // Same packed-key hazard as SwapNetwork::pair_key: guard the width.
+  static_assert(sizeof(NodeIndex) <= 4,
+                "key packs two NodeIndex values into 64 bits");
   [[nodiscard]] static std::uint64_t key(NodeIndex a, NodeIndex b) noexcept {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }

@@ -12,7 +12,8 @@ void ZeroProximityPolicy::on_delivery(PolicyContext& ctx, const Route& route) {
   if (ctx.is_free_rider(originator)) {
     // A free-riding originator withholds the paid settlement; the debt is
     // merely recorded and will amortize away.
-    (void)ctx.swap->debit(originator, first, first_price, /*can_settle=*/false);
+    (void)ctx.swap->debit(originator, first, first_price, /*can_settle=*/false,
+                          route.edge(0));
   } else {
     ctx.swap->pay_direct(originator, first, first_price);
   }
@@ -23,7 +24,7 @@ void ZeroProximityPolicy::on_delivery(PolicyContext& ctx, const Route& route) {
     const NodeIndex consumer = route.path[i];
     const NodeIndex provider = route.path[i + 1];
     (void)ctx.swap->debit(consumer, provider, ctx.price(provider, route.target),
-                          /*can_settle=*/false);
+                          /*can_settle=*/false, route.edge(i));
   }
 }
 

@@ -64,15 +64,14 @@ CompiledRouter::CompiledRouter(const Topology& topo)
   }
 }
 
-NodeIndex CompiledRouter::next_hop_generic(std::uint32_t scan_begin,
-                                           std::uint32_t scan_end,
-                                           std::uint64_t threshold,
-                                           Address target) const noexcept {
+CompiledRouter::Hop CompiledRouter::next_hop_generic(
+    std::uint32_t scan_begin, std::uint32_t scan_end, std::uint64_t threshold,
+    Address target) const noexcept {
   // Reference scan for layouts the packed path cannot represent (32-bit
   // spaces or pathologically large slabs): a vectorizable min pass over
   // the plain addresses, then a locate pass — distinct addresses never
   // tie under XOR, so the located index is unique.
-  if (scan_begin == scan_end) return kNoNextHop;
+  if (scan_begin == scan_end) return {};
   const AddressValue* const addr = peer_addr_.data();
   AddressValue best_dist = addr[scan_begin] ^ target.v;
   for (std::uint32_t i = scan_begin + 1; i < scan_end; ++i) {
@@ -81,11 +80,11 @@ NodeIndex CompiledRouter::next_hop_generic(std::uint32_t scan_begin,
   // `threshold` is self's distance when the first-differing bucket was
   // empty (strictly-closer check), and UINT64_MAX (accept anything, even
   // a 32-bit-space peer at distance 2^32 - 1) when it was not.
-  if (best_dist >= threshold) return kNoNextHop;
+  if (best_dist >= threshold) return {};
   std::uint32_t best = scan_begin;
   while ((addr[best] ^ target.v) != best_dist) ++best;
   const NodeIndex idx = peer_idx_[best];
-  return idx == kForeignPeer ? kNoNextHop : idx;
+  return idx == kForeignPeer ? Hop{} : Hop{idx, best};
 }
 
 Route CompiledRouter::route(NodeIndex origin, Address target,
@@ -108,10 +107,11 @@ void CompiledRouter::route_into(NodeIndex origin, Address target, Route& r,
       r.truncated = true;
       break;
     }
-    const NodeIndex next = next_hop(cur, target);
-    if (next == kNoNextHop) break;  // dead end or unroutable table entry
-    cur = next;
+    const Hop hop = next_hop_edge(cur, target);
+    if (hop.next == kNoNextHop) break;  // dead end or unroutable table entry
+    cur = hop.next;
     r.path.push_back(cur);
+    r.edges.push_back(hop.edge);
   }
   r.reached_storer = (cur == storer);
 }
@@ -173,13 +173,14 @@ void CompiledRouter::route_batch(std::span<const NodeIndex> origins,
         r.truncated = true;
         done = true;
       } else {
-        const NodeIndex nh = next_hop(lane.cur, lane.target);
-        if (nh == kNoNextHop) {
+        const Hop hop = next_hop_edge(lane.cur, lane.target);
+        if (hop.next == kNoNextHop) {
           done = true;  // dead end or unroutable table entry
         } else {
-          lane.cur = nh;
-          r.path.push_back(nh);
-          if (nh == lane.storer) {
+          lane.cur = hop.next;
+          r.path.push_back(hop.next);
+          r.edges.push_back(hop.edge);
+          if (hop.next == lane.storer) {
             r.reached_storer = true;
             done = true;
           }

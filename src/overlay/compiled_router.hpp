@@ -61,11 +61,29 @@ class CompiledRouter {
   [[nodiscard]] int bits() const noexcept { return bits_; }
   [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
 
+  /// One greedy step: the winning peer plus the arena id of the traversed
+  /// directed edge (the index of the winner in the CSR peer slabs). The
+  /// edge id is what the edge ledger keys its balance slots by, so every
+  /// route resolves its accounting slots here, for free, instead of
+  /// hashing node pairs per hop. next == kNoNextHop implies edge ==
+  /// kNoEdge.
+  struct Hop {
+    NodeIndex next{kNoNextHop};
+    EdgeId edge{kNoEdge};
+  };
+
   /// The peer `from` forwards a request for `target` to, or kNoNextHop.
   /// Bit-identical to RoutingTable::next_hop resolved through
   /// Topology::index_of. Defined inline below: this is the per-hop inner
   /// loop of every simulation and must inline into the walk.
-  [[nodiscard]] NodeIndex next_hop(NodeIndex from, Address target) const noexcept;
+  [[nodiscard]] NodeIndex next_hop(NodeIndex from, Address target) const noexcept {
+    return next_hop_edge(from, target).next;
+  }
+
+  /// next_hop plus the arena edge id of the step taken. The edge id is a
+  /// byproduct of the argmin the scan computes anyway, so this costs
+  /// nothing over next_hop.
+  [[nodiscard]] Hop next_hop_edge(NodeIndex from, Address target) const noexcept;
 
   /// The node storing content at `target` (globally XOR-closest node).
   [[nodiscard]] NodeIndex storer_of(Address target) const noexcept {
@@ -104,14 +122,32 @@ class CompiledRouter {
   /// storer table, closest-node trie) — the memory cost of the precompute.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
- private:
-  // peer_idx_ sentinel: table address not assigned to any node.
+  // --- Edge arena introspection (consumed by accounting::EdgeLedger) ---
+
+  /// peer_idx_ sentinel: table address not assigned to any node. An edge
+  /// whose target is foreign is never traversed (next_hop fails the route
+  /// instead) and never gets a ledger slot.
   static constexpr NodeIndex kForeignPeer = 0xFFFFFFFFu;
 
-  [[nodiscard]] NodeIndex next_hop_generic(std::uint32_t scan_begin,
-                                           std::uint32_t scan_end,
-                                           std::uint64_t threshold,
-                                           Address target) const noexcept;
+  /// Number of directed edges in the CSR peer arena (== the sum of all
+  /// routing-table sizes). Valid edge ids are [0, edge_count).
+  [[nodiscard]] std::size_t edge_count() const noexcept { return peer_idx_.size(); }
+
+  /// Target node of a directed arena edge (kForeignPeer for stale /
+  /// poisoned table entries).
+  [[nodiscard]] NodeIndex edge_target(EdgeId e) const noexcept { return peer_idx_[e]; }
+
+  /// Half-open range of arena edge ids whose source is `node` (its slab).
+  [[nodiscard]] std::pair<EdgeId, EdgeId> node_edge_range(NodeIndex node) const noexcept {
+    return {offsets_[static_cast<std::size_t>(node) * static_cast<std::size_t>(bits_)],
+            offsets_[(static_cast<std::size_t>(node) + 1) * static_cast<std::size_t>(bits_)]};
+  }
+
+ private:
+  [[nodiscard]] Hop next_hop_generic(std::uint32_t scan_begin,
+                                     std::uint32_t scan_end,
+                                     std::uint64_t threshold,
+                                     Address target) const noexcept;
 
   AddressSpace space_;
   int bits_;
@@ -129,11 +165,11 @@ class CompiledRouter {
   ClosestNodeIndex closest_;              ///< storer fallback for wide spaces
 };
 
-inline NodeIndex CompiledRouter::next_hop(NodeIndex from,
-                                          Address target) const noexcept {
+inline CompiledRouter::Hop CompiledRouter::next_hop_edge(
+    NodeIndex from, Address target) const noexcept {
   const AddressValue self = node_addr_[from];
   const AddressValue x = self ^ target.v;
-  if (x == 0) return kNoNextHop;  // target is this node's own address
+  if (x == 0) return {};  // target is this node's own address
   // First differing bit == bucket index (see AddressSpace::bucket_index).
   const int bucket = bits_ - std::bit_width(x);
   const std::size_t cell = static_cast<std::size_t>(from) *
@@ -169,9 +205,10 @@ inline NodeIndex CompiledRouter::next_hop(NodeIndex from,
     for (std::uint32_t i = scan_begin; i < scan_end; ++i) {
       best = std::min(best, pp[i] ^ tshift);
     }
-    if ((best >> shift_) >= threshold) return kNoNextHop;
-    const NodeIndex idx = peer_idx_[slab_begin + (best & local_mask_)];
-    return idx == kForeignPeer ? kNoNextHop : idx;
+    if ((best >> shift_) >= threshold) return {};
+    const EdgeId edge = slab_begin + (best & local_mask_);
+    const NodeIndex idx = peer_idx_[edge];
+    return idx == kForeignPeer ? Hop{} : Hop{idx, edge};
   }
   return next_hop_generic(scan_begin, scan_end,
                           empty ? std::uint64_t{x} : UINT64_MAX, target);

@@ -15,11 +15,23 @@
 
 namespace fairswap::overlay {
 
+/// Identifier of a directed peer edge in the compiled router's CSR arena
+/// (an index into its peer slabs). kNoEdge marks "not resolved" — routes
+/// produced by the Address-keyed reference walk carry no edge ids.
+using EdgeId = std::uint32_t;
+inline constexpr EdgeId kNoEdge = 0xFFFFFFFFu;
+
 /// The trace of one routed chunk request.
 struct Route {
   /// Nodes on the path, originator first. The last entry is the node where
   /// greedy forwarding terminated (no strictly-closer peer known).
   std::vector<NodeIndex> path;
+  /// Compiled-router arena ids of the traversed edges: edges[i] is the
+  /// directed table edge path[i] -> path[i+1]. Filled only by the compiled
+  /// walks (then edges.size() == hops()); empty on the reference walk.
+  /// The edge ledger resolves its balance slot from these ids instead of
+  /// hashing the node pair per hop.
+  std::vector<EdgeId> edges;
   /// Address the route was aiming for.
   Address target{};
   /// True if the terminal node is the globally closest node to `target`,
@@ -39,9 +51,16 @@ struct Route {
   /// and must not allocate per request.
   void reset(Address new_target) noexcept {
     path.clear();
+    edges.clear();
     target = new_target;
     reached_storer = false;
     truncated = false;
+  }
+
+  /// Arena id of the edge path[i] -> path[i+1], or kNoEdge when this route
+  /// carries no edge ids (reference walk, hand-built test routes).
+  [[nodiscard]] EdgeId edge(std::size_t i) const noexcept {
+    return i < edges.size() ? edges[i] : kNoEdge;
   }
 
   [[nodiscard]] NodeIndex originator() const noexcept { return path.front(); }

@@ -101,12 +101,23 @@ class Topology {
   /// overlay/compiled_router.hpp.
   [[nodiscard]] const CompiledRouter& compiled() const noexcept;
 
+  /// Shared ownership of the current compiled router, for holders that
+  /// must keep one arena snapshot alive and self-consistent (edge ids
+  /// index into a specific arena) across a potential inject_table_entry
+  /// recompile — core::Simulation pins its snapshot through this.
+  [[nodiscard]] std::shared_ptr<const CompiledRouter> compiled_shared() const noexcept {
+    return compiled_;
+  }
+
   /// Fault-injection seam: admits `peer` into `node`'s routing table even
   /// when `peer` is not a member of this network — modelling a stale or
   /// poisoned table entry pointing at a departed node. Respects bucket
   /// capacity (returns false when the bucket is full or the entry is
   /// already present) and recompiles the routing hot path on success.
-  /// Used by the route-accounting regression tests.
+  /// Used by the route-accounting regression tests. Inject before
+  /// constructing simulations: a Simulation pins the compiled router it
+  /// was built with (routing and edge-ledger slots must index one arena),
+  /// so later injections are invisible to it.
   bool inject_table_entry(NodeIndex node, Address peer);
 
   /// Total directed "knows" edges (sum of routing-table sizes).

@@ -170,6 +170,54 @@ TEST(Swap, ForEachPairVisitsActivePairs) {
   EXPECT_EQ(visited, 2);
 }
 
+TEST(Swap, RefusedDebitCreatesNoPhantomPair) {
+  // Regression: debit() used to default-insert the balance entry before
+  // the disconnect check, so a refused debit permanently created a
+  // zero-balance pair that active_pairs / amortize_tick / for_each_pair
+  // then scanned forever.
+  SwapNetwork net(2, small_config());
+  EXPECT_EQ(net.debit(0, 1, Token(200), /*can_settle=*/false),
+            DebitResult::kDisconnected);
+  EXPECT_EQ(net.active_pairs(), 0u);
+  EXPECT_TRUE(net.outstanding_debt().is_zero());
+  int visited = 0;
+  net.for_each_pair([&](NodeIndex, NodeIndex, Token) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  // Repeated refusals do not accumulate anything either.
+  EXPECT_EQ(net.debit(0, 1, Token(151), false), DebitResult::kDisconnected);
+  EXPECT_EQ(net.active_pairs(), 0u);
+}
+
+TEST(Swap, SettledPairIsNotActive) {
+  // active_pairs() documents "nonzero balance"; a pair settled back to
+  // zero must not count (it used to: settlement kept the zero entry).
+  SwapNetwork net(2, small_config());
+  EXPECT_EQ(net.debit(0, 1, Token(120)), DebitResult::kSettled);
+  EXPECT_EQ(net.active_pairs(), 0u);
+  // The pair becomes active again on new unsettled debt.
+  EXPECT_EQ(net.debit(0, 1, Token(10), false), DebitResult::kOk);
+  EXPECT_EQ(net.active_pairs(), 1u);
+}
+
+TEST(Swap, AmortizedPairIsNotActive) {
+  SwapNetwork net(2, small_config());
+  (void)net.debit(0, 1, Token(25), false);
+  EXPECT_EQ(net.active_pairs(), 1u);
+  net.amortize_tick();  // 25 -> 15
+  net.amortize_tick();  // 15 -> 5
+  EXPECT_EQ(net.active_pairs(), 1u);
+  EXPECT_EQ(net.amortize_tick(), 1u);  // 5 -> 0: forgiven
+  EXPECT_EQ(net.active_pairs(), 0u);
+  EXPECT_TRUE(net.balance(1, 0).is_zero());
+}
+
+TEST(Swap, ExactlyCancelledPairIsNotActive) {
+  SwapNetwork net(2, small_config());
+  (void)net.debit(0, 1, Token(40), false);
+  (void)net.debit(1, 0, Token(40), false);
+  EXPECT_EQ(net.active_pairs(), 0u);
+}
+
 TEST(Swap, ConservationIncomeEqualsSpending) {
   // Without minting, every settled token a node earns was spent by
   // another node.

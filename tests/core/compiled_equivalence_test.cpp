@@ -1,10 +1,16 @@
 // The simulation's compiled routing path (including the batched per-file
-// walker) must produce bit-identical results to the Address-keyed greedy
-// reference walk: same Routes, same NodeCounters, same SimulationTotals,
-// same incomes — across the full paper grid and randomized topologies.
+// walker) and the compiled edge-arena ledger must produce bit-identical
+// results to the Address-keyed greedy walk over the hash-map SwapNetwork:
+// same Routes, same NodeCounters, same SimulationTotals, same incomes,
+// same settlement logs and balances — across the full paper grid and
+// randomized topologies. Three configurations are compared pairwise:
+// (greedy routing, map ledger), (compiled routing, map ledger),
+// (compiled routing, edge ledger).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/rng.hpp"
@@ -24,24 +30,54 @@ overlay::Topology make_topology(std::size_t nodes, std::size_t k,
   return overlay::Topology::build(cfg, rng);
 }
 
-/// Runs the same (topology, config, seed) with the compiled and the greedy
-/// reference path and asserts every observable is identical.
+/// Asserts two finished simulations agree on every observable, including
+/// the full SWAP ledger state (not just settlement counts).
+void expect_same_observables(const Simulation& a, const Simulation& b,
+                             const char* what) {
+  EXPECT_EQ(a.totals(), b.totals()) << what;
+  EXPECT_EQ(a.counters(), b.counters()) << what;
+  EXPECT_EQ(a.income_per_node(), b.income_per_node()) << what;
+  EXPECT_EQ(a.swap().income(), b.swap().income()) << what;
+  EXPECT_EQ(a.swap().spent(), b.swap().spent()) << what;
+  EXPECT_EQ(a.swap().settlements(), b.swap().settlements()) << what;
+  EXPECT_EQ(a.swap().outstanding_debt(), b.swap().outstanding_debt()) << what;
+  EXPECT_EQ(a.swap().active_pairs(), b.swap().active_pairs()) << what;
+
+  using PairBal = std::tuple<NodeIndex, NodeIndex, Token::rep>;
+  std::vector<PairBal> a_pairs;
+  std::vector<PairBal> b_pairs;
+  a.swap().for_each_pair([&](NodeIndex lo, NodeIndex hi, Token bal) {
+    a_pairs.emplace_back(lo, hi, bal.base_units());
+  });
+  b.swap().for_each_pair([&](NodeIndex lo, NodeIndex hi, Token bal) {
+    b_pairs.emplace_back(lo, hi, bal.base_units());
+  });
+  std::sort(a_pairs.begin(), a_pairs.end());
+  std::sort(b_pairs.begin(), b_pairs.end());
+  EXPECT_EQ(a_pairs, b_pairs) << what;
+}
+
+/// Runs the same (topology, config, seed) through the three
+/// routing x ledger configurations and asserts every observable is
+/// identical across all of them.
 void expect_equivalent(const overlay::Topology& topo, SimulationConfig cfg,
                        std::uint64_t seed, std::size_t files,
                        const char* what) {
   cfg.compiled_routing = true;
+  cfg.compiled_ledger = true;
+  Simulation edge_sim(topo, cfg, Rng(seed));
+  cfg.compiled_ledger = false;
   Simulation compiled(topo, cfg, Rng(seed));
   cfg.compiled_routing = false;
   Simulation greedy(topo, cfg, Rng(seed));
+  ASSERT_TRUE(edge_sim.swap().edge_backed()) << what;
+  ASSERT_FALSE(compiled.swap().edge_backed()) << what;
+  edge_sim.run(files);
   compiled.run(files);
   greedy.run(files);
 
-  EXPECT_EQ(compiled.totals(), greedy.totals()) << what;
-  EXPECT_EQ(compiled.counters(), greedy.counters()) << what;
-  EXPECT_EQ(compiled.income_per_node(), greedy.income_per_node()) << what;
-  EXPECT_EQ(compiled.swap().settlements().size(),
-            greedy.swap().settlements().size())
-      << what;
+  expect_same_observables(compiled, greedy, what);
+  expect_same_observables(edge_sim, compiled, what);
 }
 
 TEST(CompiledEquivalence, FullPaperGrid) {
@@ -96,6 +132,21 @@ TEST(CompiledEquivalence, PolicyAndWorkloadVariants) {
   tft.policy = "tit-for-tat";
   expect_equivalent(topo, tft, 94, 25, "tit-for-tat");
 
+  auto effort = base;
+  effort.policy = "effort-based";
+  expect_equivalent(topo, effort, 90, 25, "effort-based policy");
+
+  // Per-step amortization exercises the ledgers' active-list walk (the
+  // edge ledger touches only nonzero slots; results must still match).
+  auto amortized = base;
+  amortized.policy = "per-hop-swap";
+  amortized.amortize_each_step = true;
+  amortized.swap.payment_threshold = Token(40);
+  amortized.swap.disconnect_threshold = Token(60);
+  amortized.swap.amortization_per_tick = Token(5);
+  amortized.free_rider_share = 0.25;  // unsettled debt for amortization to eat
+  expect_equivalent(topo, amortized, 89, 25, "amortization");
+
   // Caching disables the batched path but still routes each hop through
   // the compiled structure; equivalence must hold there too.
   auto cached = base;
@@ -127,17 +178,13 @@ TEST(CompiledEquivalence, HopCapTruncationCountsSeparately) {
   EXPECT_EQ(free_sim.totals().truncated_routes, 0u);
 }
 
-TEST(CompiledEquivalence, ForeignTableEntryCountsAsFailedRoute) {
-  auto topo = make_topology(60, 2, 7, 10);
-  // Find an unassigned address that fits a non-full bucket of a node that
-  // does not store it (regression: this used to dereference a missing
-  // index — UB — instead of failing the route).
+/// Finds an unassigned address that fits a non-full bucket of a node
+/// that does not store it — an injectable stale table entry.
+bool find_injectable_foreign(const overlay::Topology& topo,
+                             overlay::NodeIndex& node, Address& foreign) {
   std::unordered_set<AddressValue> taken;
   for (const Address a : topo.addresses()) taken.insert(a.v);
-  overlay::NodeIndex node = 0;
-  Address foreign{};
-  bool found = false;
-  for (AddressValue v = 0; v < topo.space().size() && !found; ++v) {
+  for (AddressValue v = 0; v < topo.space().size(); ++v) {
     if (taken.contains(v)) continue;
     const Address f{v};
     const auto storer = topo.closest_node(f);
@@ -148,12 +195,20 @@ TEST(CompiledEquivalence, ForeignTableEntryCountsAsFailedRoute) {
           topo.table(n).policy().capacity(b)) {
         node = n;
         foreign = f;
-        found = true;
-        break;
+        return true;
       }
     }
   }
-  ASSERT_TRUE(found);
+  return false;
+}
+
+TEST(CompiledEquivalence, ForeignTableEntryCountsAsFailedRoute) {
+  auto topo = make_topology(60, 2, 7, 10);
+  // Regression: routing onto a table address no network member owns used
+  // to dereference a missing index — UB — instead of failing the route.
+  overlay::NodeIndex node = 0;
+  Address foreign{};
+  ASSERT_TRUE(find_injectable_foreign(topo, node, foreign));
   ASSERT_TRUE(topo.inject_table_entry(node, foreign));
 
   for (const bool compiled : {true, false}) {
@@ -168,6 +223,40 @@ TEST(CompiledEquivalence, ForeignTableEntryCountsAsFailedRoute) {
     EXPECT_EQ(sim.totals().delivered, 0u) << "compiled=" << compiled;
     EXPECT_EQ(sim.totals().truncated_routes, 0u) << "compiled=" << compiled;
   }
+}
+
+TEST(CompiledEquivalence, SimulationPinsRouterAcrossInjection) {
+  // Regression: inject_table_entry recompiles the router, destroying the
+  // previous CompiledRouter. A running simulation (and its edge ledger,
+  // whose slots index a specific arena) must keep the snapshot it was
+  // built with alive — injecting mid-run used to leave it with a dangling
+  // router pointer.
+  auto topo = make_topology(80, 3, 11);
+  SimulationConfig cfg;
+  cfg.workload.min_chunks_per_file = 10;
+  cfg.workload.max_chunks_per_file = 30;
+  Simulation sim(topo, cfg, Rng(100));
+  sim.run(5);
+  const auto before = sim.totals();
+
+  overlay::NodeIndex node = 0;
+  Address foreign{};
+  ASSERT_TRUE(find_injectable_foreign(topo, node, foreign));
+  ASSERT_TRUE(topo.inject_table_entry(node, foreign));
+
+  // The old arena must still be valid (ASan-checked) and the run stays
+  // internally consistent on the pinned pre-injection snapshot.
+  sim.run(5);
+  const auto& t = sim.totals();
+  EXPECT_GT(t.chunk_requests, before.chunk_requests);
+  EXPECT_EQ(t.delivered + t.refused + t.failed_routes + t.truncated_routes,
+            t.chunk_requests);
+  // A simulation constructed after the injection sees the new router.
+  Simulation fresh(topo, cfg, Rng(100));
+  fresh.run(5);
+  EXPECT_EQ(fresh.totals().delivered + fresh.totals().refused +
+                fresh.totals().failed_routes + fresh.totals().truncated_routes,
+            fresh.totals().chunk_requests);
 }
 
 TEST(CompiledEquivalence, FreeRiderShareRoundsToNearest) {
