@@ -18,8 +18,7 @@
 int main(int argc, char** argv) {
   using namespace fairswap;
   auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  if (!cfg_args.has("files")) args.files = 2'000;
+  if (!args.cfg.has("files")) args.files = 2'000;
 
   bench::banner("Ablation: increasing k for bucket 0 only (base k=4)");
 

@@ -21,8 +21,7 @@ int main(int argc, char** argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   // A sweep of 7 k-values at full scale is slow; default to 2k files
   // unless the caller overrides.
-  const Config cfg_args = Config::from_args(argc, argv);
-  if (!cfg_args.has("files")) args.files = 2'000;
+  if (!args.cfg.has("files")) args.files = 2'000;
 
   bench::banner("Ablation: bucket-size sweep (fairness vs overhead)");
 

@@ -16,8 +16,7 @@
 int main(int argc, char** argv) {
   using namespace fairswap;
   auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  if (!cfg_args.has("files")) args.files = 2'000;
+  if (!args.cfg.has("files")) args.files = 2'000;
 
   bench::banner("Ablation: payment policies (k=4, 20% originators)");
 

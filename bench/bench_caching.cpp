@@ -19,8 +19,7 @@
 int main(int argc, char** argv) {
   using namespace fairswap;
   auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  if (!cfg_args.has("files")) args.files = 1'000;
+  if (!args.cfg.has("files")) args.files = 1'000;
 
   bench::banner("Extension: Zipf popularity + relay LRU caching");
 

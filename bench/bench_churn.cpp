@@ -72,8 +72,7 @@ ChurnOutcome run_phase(overlay::DynamicOverlay& overlay, Rng& rng,
 int main(int argc, char** argv) {
   using namespace fairswap;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  const auto requests = cfg_args.get_or("requests", std::uint64_t{200'000});
+  const auto requests = args.cfg.get_or("requests", std::uint64_t{200'000});
 
   bench::banner("Extension: routing & fairness under churn (k=4, 1000 nodes)");
 

@@ -1,78 +1,12 @@
-// Fig. 4 reproduction: "Distribution for the forwarded chunks for 10000
-// file downloads. Left with 20% originators, on the right with 100%
-// originators." Each panel overlays k=4 and k=20 histograms of per-node
-// forwarded-chunk counts.
-//
-// Claims to reproduce:
-//  * With k=20 the distribution is concentrated at a lower mode (the
-//    paper: "with k=20, more than 400 out of 1000 nodes forward
-//    approximately 10000 chunks").
-//  * The area under the k=4 curve exceeds k=20: 1.6x on the 20% panel,
-//    1.25x on the 100% panel (k=20 uses less bandwidth overall).
-//  * With 20% originators, bandwidth use is more uneven, "with many peers
-//    using twice the average bandwidth".
-#include <cstdio>
-#include <sstream>
+// Fig. 4 reproduction — now the registered harness scenario "fig4"
+// (src/harness/paper_scenarios.cpp, where the paper claims are
+// documented). This binary is a thin alias kept for existing scripts:
+// `bench_fig4 files=2000` == `fairswap_run fig4 files=2000`, byte for
+// byte (pinned by tests/harness/scenario_equivalence_test.cpp).
+#include <iostream>
 
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
+#include "harness/scenario.hpp"
 
 int main(int argc, char** argv) {
-  using namespace fairswap;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  bench::banner("Fig. 4: per-node forwarded-chunk distribution");
-  const auto results = bench::run_paper_grid(args);
-  const auto histos = core::served_histograms(bench::as_ptrs(results), 40);
-
-  // Panel layout mirrors the paper: left = 20% originators, right = 100%.
-  std::ostringstream csv_text;
-  CsvWriter csv(csv_text);
-  csv.cells("label", "bin_left", "bin_right", "node_count");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    for (std::size_t b = 0; b < histos[i].bin_count(); ++b) {
-      csv.cells(results[i].config.label, histos[i].bin_left(b),
-                histos[i].bin_right(b), histos[i].count(b));
-    }
-  }
-  core::write_text_file(args.out_dir + "/fig4_histogram.csv", csv_text.str());
-
-  TextTable table({"configuration", "mean", "median", "p90", "max",
-                   "nodes >= 2x mean"});
-  for (const auto& r : results) {
-    std::size_t heavy = 0;
-    for (const auto v : r.served_per_node) {
-      if (static_cast<double>(v) >= 2.0 * r.served_summary.mean) ++heavy;
-    }
-    table.add_row({r.config.label, TextTable::num(r.served_summary.mean, 0),
-                   TextTable::num(r.served_summary.median, 0),
-                   TextTable::num(r.served_summary.p90, 0),
-                   TextTable::num(r.served_summary.max, 0),
-                   std::to_string(heavy)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  // Histogram-area comparison (the paper quotes area ratios because both
-  // curves share bin widths; with equal widths the ratio reduces to the
-  // ratio of total forwarded chunks).
-  const double area_ratio_20 =
-      static_cast<double>(results[0].totals.total_transmissions) /
-      static_cast<double>(results[2].totals.total_transmissions);
-  const double area_ratio_100 =
-      static_cast<double>(results[1].totals.total_transmissions) /
-      static_cast<double>(results[3].totals.total_transmissions);
-  std::printf("\nbandwidth area ratio k=4/k=20: %.2fx at 20%% originators "
-              "(paper: ~1.6x), %.2fx at 100%% (paper: ~1.25x)\n",
-              area_ratio_20, area_ratio_100);
-
-  // Terminal rendering of the two k=20 panels' mode behaviour.
-  for (const std::size_t idx : {std::size_t{2}, std::size_t{3}}) {
-    std::printf("\n%s histogram (40 bins):\n%s",
-                results[idx].config.label.c_str(),
-                histos[idx].render(40).c_str());
-  }
-  std::printf("wrote %s/fig4_histogram.csv\n", args.out_dir.c_str());
-  return 0;
+  return fairswap::harness::run_scenario("fig4", argc, argv, std::cout);
 }

@@ -1,60 +1,12 @@
-// Extension: misbehaving peers (§V future-work thread 2).
-//
-// "For the duration of the experiment, it is assumed that all peers will
-// adhere to the protocol ... In a second thread of future work, we will
-// consider what happens when some peers misbehave. An interesting
-// question arises here: What happens to F1 and F2 properties?"
-//
-// Model: a fraction of nodes free-ride — they originate downloads but
-// never issue the zero-proximity payment (debt accrues and silently
-// amortizes). We sweep the free-rider share and report exactly the
-// question the paper poses: what happens to F1 and F2.
-#include <cstdio>
-#include <sstream>
+// Free-riding extension (§V future-work thread 2) — now the registered
+// harness scenario "free_riders" (src/harness/paper_scenarios.cpp). This
+// binary is a thin alias kept for existing scripts: `bench_free_riders
+// files=500` == `fairswap_run free_riders files=500`, byte for byte
+// (pinned by tests/harness/scenario_equivalence_test.cpp).
+#include <iostream>
 
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
+#include "harness/scenario.hpp"
 
 int main(int argc, char** argv) {
-  using namespace fairswap;
-  auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  if (!cfg_args.has("files")) args.files = 2'000;
-
-  bench::banner("Extension: free-riding originators vs F1/F2");
-
-  TextTable table({"free-rider share", "Gini F2", "Gini F1 (income)",
-                   "total income", "unsettled debt"});
-  std::ostringstream csv_text;
-  CsvWriter csv(csv_text);
-  csv.cells("free_rider_share", "gini_f2", "gini_f1_income", "total_income",
-            "outstanding_debt");
-
-  for (const double share : {0.0, 0.1, 0.25, 0.5, 0.75}) {
-    auto cfg = core::paper_config(4, 1.0, args.files, args.seed);
-    cfg.sim.free_rider_share = share;
-    cfg.label = "riders=" + TextTable::num(share, 2);
-    std::printf("running %s...\n", cfg.label.c_str());
-    std::fflush(stdout);
-    const auto result = core::run_experiment(cfg);
-    table.add_row({TextTable::num(share, 2),
-                   TextTable::num(result.fairness.gini_f2, 4),
-                   TextTable::num(result.fairness.gini_f1_income, 4),
-                   TextTable::num(result.total_income, 0),
-                   TextTable::num(result.outstanding_debt, 0)});
-    csv.cells(share, result.fairness.gini_f2, result.fairness.gini_f1_income,
-              result.total_income, result.outstanding_debt);
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nreading: free riders shrink total income (fewer paid "
-              "serves) and push work into unsettled debt. The income-based "
-              "F1 degrades — nodes still forward chunks for free riders but "
-              "are never paid for those serves — answering §V's open "
-              "question. F2 worsens too: whether a node earns now depends "
-              "on *which* originators route through it, not only on the "
-              "bandwidth it offers.\n");
-  core::write_text_file(args.out_dir + "/free_riders.csv", csv_text.str());
-  std::printf("wrote %s/free_riders.csv\n", args.out_dir.c_str());
-  return 0;
+  return fairswap::harness::run_scenario("free_riders", argc, argv, std::cout);
 }

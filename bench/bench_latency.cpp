@@ -18,8 +18,7 @@
 int main(int argc, char** argv) {
   using namespace fairswap;
   auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  const auto retrievals = cfg_args.get_or("retrievals", std::uint64_t{50'000});
+  const auto retrievals = args.cfg.get_or("retrievals", std::uint64_t{50'000});
 
   bench::banner("Extension: retrieval latency distribution (message-level)");
 

@@ -38,15 +38,14 @@ bool identical(const fairswap::core::AggregateResult& a,
 
 int main(int argc, char** argv) {
   using namespace fairswap;
-  const Config cfg_args = Config::from_args(argc, argv);
   auto args = bench::BenchArgs::parse(argc, argv);
   // Multi-seed runs multiply cost by the seed count; default files down.
-  args.files = cfg_args.get_or("files", std::uint64_t{1'000});
+  args.files = args.cfg.get_or("files", std::uint64_t{1'000});
   const auto seed_count =
-      static_cast<std::size_t>(cfg_args.get_or("seeds", std::uint64_t{8}));
+      static_cast<std::size_t>(args.cfg.get_or("seeds", std::uint64_t{8}));
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const auto max_threads = static_cast<std::size_t>(
-      cfg_args.get_or("threads", static_cast<std::uint64_t>(hw)));
+      args.cfg.get_or("threads", static_cast<std::uint64_t>(hw)));
 
   auto cfg = core::paper_config(4, 0.2, args.files, args.seed);
   bench::banner("Parallel run_seeds (" + std::to_string(seed_count) +

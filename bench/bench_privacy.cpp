@@ -22,8 +22,7 @@
 int main(int argc, char** argv) {
   using namespace fairswap;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  const auto lookups = cfg_args.get_or("lookups", std::uint64_t{20'000});
+  const auto lookups = args.cfg.get_or("lookups", std::uint64_t{20'000});
 
   bench::banner("Baseline: forwarding vs iterative Kademlia (privacy & cost)");
 

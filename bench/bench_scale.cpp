@@ -28,17 +28,16 @@
 //            routes=<n> seed=<n> out=<dir>
 #include <chrono>
 #include <cstdio>
-#include <iomanip>
 #include <memory>
 #include <sstream>
 #include <thread>
-#include <type_traits>
 #include <vector>
 
 #include "accounting/edge_ledger.hpp"
 #include "accounting/swap.hpp"
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "core/multi_run.hpp"
 #include "core/simulation.hpp"
@@ -295,66 +294,24 @@ CellLedgerCheck scale_ledger_check(const core::ExperimentConfig& cfg,
   return check;
 }
 
-/// Minimal JSON emitter for BENCH_scale.json. Keys are fixed, values are
-/// numbers/bools/plain labels, so no escaping machinery is needed.
-class JsonWriter {
- public:
-  JsonWriter() { out_ << std::setprecision(10); }
-
-  void open(const char* key = nullptr) { item(key); out_ << '{'; fresh_ = true; }
-  void close() { out_ << '}'; fresh_ = false; }
-  void open_list(const char* key) { item(key); out_ << '['; fresh_ = true; }
-  void close_list() { out_ << ']'; fresh_ = false; }
-
-  void field(const char* key, double v) { item(key); out_ << v; }
-  void field(const char* key, bool v) { item(key); out_ << (v ? "true" : "false"); }
-  // Template rather than a fixed-width overload: size_t, uint64_t and int
-  // are distinct types across platforms, and a fixed set is ambiguous
-  // somewhere (e.g. size_t on macOS matches neither uint64_t nor double
-  // exactly).
-  template <typename T>
-    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
-  void field(const char* key, T v) {
-    item(key);
-    out_ << v;
-  }
-  void field(const char* key, const std::string& v) {
-    item(key);
-    out_ << '"' << v << '"';
-  }
-
-  [[nodiscard]] std::string str() const { return out_.str() + "\n"; }
-
- private:
-  void item(const char* key) {
-    if (!fresh_) out_ << ',';
-    fresh_ = false;
-    if (key) out_ << '"' << key << "\":";
-  }
-
-  std::ostringstream out_;
-  bool fresh_{true};
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fairswap;
-  const Config cfg_args = Config::from_args(argc, argv);
   auto args = bench::BenchArgs::parse(argc, argv);
   // A 10k-node multi-seed run multiplies cost; default files down.
-  args.files = cfg_args.get_or("files", std::uint64_t{1'000});
+  args.files = args.cfg.get_or("files", std::uint64_t{1'000});
   const auto nodes =
-      static_cast<std::size_t>(cfg_args.get_or("nodes", std::uint64_t{10'000}));
+      static_cast<std::size_t>(args.cfg.get_or("nodes", std::uint64_t{10'000}));
   const auto bits =
-      static_cast<int>(cfg_args.get_or("bits", std::uint64_t{20}));
+      static_cast<int>(args.cfg.get_or("bits", std::uint64_t{20}));
   const auto seed_count =
-      static_cast<std::size_t>(cfg_args.get_or("seeds", std::uint64_t{3}));
+      static_cast<std::size_t>(args.cfg.get_or("seeds", std::uint64_t{3}));
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const auto threads = static_cast<std::size_t>(
-      cfg_args.get_or("threads", static_cast<std::uint64_t>(hw)));
+      args.cfg.get_or("threads", static_cast<std::uint64_t>(hw)));
   const auto route_count = static_cast<std::size_t>(
-      cfg_args.get_or("routes", std::uint64_t{200'000}));
+      args.cfg.get_or("routes", std::uint64_t{200'000}));
 
   // --- Part 1: routing microbenchmark on the 1000-node paper grid. ---
   bench::banner("Routing hot path: greedy reference vs compiled (1000 nodes, " +
@@ -468,8 +425,11 @@ int main(int argc, char** argv) {
     std::printf("%s", core::summarize_result(r).c_str());
   }
 
-  // --- Machine-readable roll-up: BENCH_scale.json. ---
-  JsonWriter json;
+  // --- Machine-readable roll-up: BENCH_scale.json (emitted through the
+  // shared common/json writer, the same escaping/formatting path as the
+  // harness's fairswap.run.v1 sink). ---
+  std::ostringstream json_text;
+  JsonWriter json(json_text);
   json.open();
   json.field("schema", std::string("fairswap.bench_scale.v1"));
   json.open("config");
@@ -538,7 +498,8 @@ int main(int argc, char** argv) {
                         micro_csv_text.str());
   core::write_text_file(args.out_dir + "/scale_totals.csv",
                         core::totals_csv(bench::as_ptrs(singles)));
-  core::write_text_file(args.out_dir + "/BENCH_scale.json", json.str());
+  core::write_text_file(args.out_dir + "/BENCH_scale.json",
+                        json_text.str() + "\n");
   std::printf("wrote %s/{scale_routing.csv, scale_totals.csv, BENCH_scale.json}\n",
               args.out_dir.c_str());
 

@@ -24,8 +24,7 @@
 int main(int argc, char** argv) {
   using namespace fairswap;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  const auto rounds = cfg_args.get_or("rounds", std::uint64_t{20'000});
+  const auto rounds = args.cfg.get_or("rounds", std::uint64_t{20'000});
 
   overlay::TopologyConfig tcfg;
   tcfg.node_count = 1000;

@@ -1,63 +1,12 @@
-// Table I reproduction: "Average forwarded chunks for the experiment with
-// 10k downloads" — the 2x2 grid of bucket size k in {4, 20} and
-// originator share in {20%, 100%}.
-//
-// Paper reference values:
-//               20% originators   100% originators
-//   k = 4            17253              16048
-//   k = 20           11356              10904
-//
-// The shape to reproduce: k=20 transmits ~1.5x fewer chunks per node, and
-// 100% originators slightly fewer than 20% ("more uniformly distributed
-// originators result in fewer hops to the destination").
-#include <cstdio>
+// Table I reproduction — now the registered harness scenario "table1"
+// (src/harness/paper_scenarios.cpp, where the paper reference values are
+// documented). This binary is a thin alias kept for existing scripts:
+// `bench_table1 files=2000` == `fairswap_run table1 files=2000`, byte for
+// byte (pinned by tests/harness/scenario_equivalence_test.cpp).
+#include <iostream>
 
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
-
-#include <sstream>
-
-namespace {
-
-constexpr double kPaperTable1[2][2] = {{17253.0, 16048.0},   // k=4
-                                       {11356.0, 10904.0}};  // k=20
-
-}  // namespace
+#include "harness/scenario.hpp"
 
 int main(int argc, char** argv) {
-  using namespace fairswap;
-  const auto args = bench::BenchArgs::parse(argc, argv);
-
-  bench::banner("Table I: average forwarded chunks per node");
-  const auto results = bench::run_paper_grid(args);
-  // results order: (k4,20%), (k4,100%), (k20,20%), (k20,100%).
-
-  TextTable table({"configuration", "paper", "measured", "measured/paper"});
-  std::ostringstream csv_text;
-  CsvWriter csv(csv_text);
-  csv.cells("k", "originator_share", "paper_avg_forwarded", "measured_avg_forwarded");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    const double paper = kPaperTable1[i / 2][i % 2];
-    table.add_row({r.config.label, TextTable::num(paper, 0),
-                   TextTable::num(r.avg_forwarded_chunks, 0),
-                   TextTable::num(r.avg_forwarded_chunks / paper, 2)});
-    csv.cells(r.config.topology.buckets.k,
-              r.config.sim.workload.originator_share, paper,
-              r.avg_forwarded_chunks);
-  }
-  std::printf("%s", table.render().c_str());
-
-  const double ratio_20 =
-      results[0].avg_forwarded_chunks / results[2].avg_forwarded_chunks;
-  const double ratio_100 =
-      results[1].avg_forwarded_chunks / results[3].avg_forwarded_chunks;
-  std::printf("\nk=4 / k=20 transmission ratio: %.2fx at 20%% originators "
-              "(paper: 1.52x), %.2fx at 100%% (paper: 1.47x)\n",
-              ratio_20, ratio_100);
-
-  core::write_text_file(args.out_dir + "/table1.csv", csv_text.str());
-  std::printf("wrote %s/table1.csv\n", args.out_dir.c_str());
-  return 0;
+  return fairswap::harness::run_scenario("table1", argc, argv, std::cout);
 }

@@ -13,22 +13,26 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/scenarios.hpp"
+#include "harness/plan.hpp"
 
 namespace fairswap::bench {
 
-/// Command-line settings shared by all harnesses.
+/// Command-line settings shared by all harnesses. Carries the parsed
+/// Config so benches read their extra keys from `args.cfg` instead of
+/// re-parsing argv a second time.
 struct BenchArgs {
+  Config cfg;
   std::size_t files{10'000};
   std::uint64_t seed{kDefaultSeed};
   std::string out_dir{"bench_out"};
 
   static BenchArgs parse(int argc, char** argv) {
-    const Config cfg = Config::from_args(argc, argv);
     BenchArgs args;
-    args.files = cfg.get_or("files", std::uint64_t{10'000});
-    args.seed = cfg.get_or("seed", kDefaultSeed);
-    args.out_dir = cfg.get_or("out", std::string{"bench_out"});
-    if (cfg.get_or("verbose", false)) Log::set_level(LogLevel::kInfo);
+    args.cfg = Config::from_args(argc, argv);
+    args.files = args.cfg.get_or("files", std::uint64_t{10'000});
+    args.seed = args.cfg.get_or("seed", kDefaultSeed);
+    args.out_dir = args.cfg.get_or("out", std::string{"bench_out"});
+    if (args.cfg.get_or("verbose", false)) Log::set_level(LogLevel::kInfo);
     return args;
   }
 };
@@ -39,22 +43,16 @@ inline void banner(const std::string& title) {
 }
 
 /// Runs the paper's 2x2 grid: (k=4,20%), (k=4,100%), (k=20,20%),
-/// (k=20,100%). Topologies are built once per k and shared between the
-/// two originator-share runs, mirroring the paper's reuse of one overlay
-/// across simulations.
+/// (k=20,100%) through the harness grid runner, which shares one built
+/// topology per k — mirroring the paper's reuse of one overlay across
+/// simulations.
 inline std::vector<core::ExperimentResult> run_paper_grid(const BenchArgs& args) {
-  std::vector<core::ExperimentResult> results;
-  for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
-    const auto cfg_any = core::paper_config(k, 0.2, args.files, args.seed);
-    const auto topo = core::build_topology(cfg_any);
-    for (const double share : {0.2, 1.0}) {
-      auto cfg = core::paper_config(k, share, args.files, args.seed);
-      std::printf("running %s (%zu files)...\n", cfg.label.c_str(), args.files);
-      std::fflush(stdout);
-      results.push_back(core::run_experiment(topo, cfg));
-    }
-  }
-  return results;
+  return harness::run_grid(core::paper_grid(args.files, args.seed),
+                           [&](const core::ExperimentConfig& cfg) {
+                             std::printf("running %s (%zu files)...\n",
+                                         cfg.label.c_str(), args.files);
+                             std::fflush(stdout);
+                           });
 }
 
 /// Convenience: result pointer view for report helpers.

@@ -1,58 +1,12 @@
-// Seed-variance analysis: the paper reports single-seed results ("random
-// numbers are generated using the same seed"); this bench re-runs the 2x2
-// grid across several seeds and reports every headline number as
-// mean ± stddev, confirming the k=4 vs k=20 deltas are not seed noise.
-#include <cstdio>
-#include <sstream>
+// Seed-variance analysis — now the registered harness scenario "variance"
+// (src/harness/paper_scenarios.cpp). This binary is a thin alias kept for
+// existing scripts: `bench_variance files=500 seeds=3` == `fairswap_run
+// variance files=500 seeds=3`, byte for byte (pinned by
+// tests/harness/scenario_equivalence_test.cpp).
+#include <iostream>
 
-#include "bench_util.hpp"
-#include "common/csv.hpp"
-#include "common/table.hpp"
-#include "core/multi_run.hpp"
+#include "harness/scenario.hpp"
 
 int main(int argc, char** argv) {
-  using namespace fairswap;
-  auto args = bench::BenchArgs::parse(argc, argv);
-  const Config cfg_args = Config::from_args(argc, argv);
-  // Multi-seed at full paper scale is the priciest bench; default down.
-  if (!cfg_args.has("files")) args.files = 2'000;
-  const auto seeds = cfg_args.get_or("seeds", std::uint64_t{5});
-
-  bench::banner("Seed variance across the paper grid (" +
-                std::to_string(seeds) + " seeds)");
-
-  TextTable table({"configuration", "Gini F2", "Gini F1", "avg forwarded"});
-  std::ostringstream csv_text;
-  CsvWriter csv(csv_text);
-  csv.cells("label", "gini_f2_mean", "gini_f2_sd", "gini_f1_mean",
-            "gini_f1_sd", "avg_forwarded_mean", "avg_forwarded_sd");
-
-  core::AggregateResult k4_20, k20_20;
-  for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
-    for (const double share : {0.2, 1.0}) {
-      auto cfg = core::paper_config(k, share, args.files, args.seed);
-      std::printf("running %s x %llu seeds...\n", cfg.label.c_str(),
-                  static_cast<unsigned long long>(seeds));
-      std::fflush(stdout);
-      const auto agg = core::run_seeds(cfg, seeds);
-      if (k == 4 && share == 0.2) k4_20 = agg;
-      if (k == 20 && share == 0.2) k20_20 = agg;
-      table.add_row({cfg.label, core::mean_pm_std(agg.gini_f2),
-                     core::mean_pm_std(agg.gini_f1),
-                     core::mean_pm_std(agg.avg_forwarded, 0)});
-      csv.cells(cfg.label, agg.gini_f2.mean(), agg.gini_f2.stddev(),
-                agg.gini_f1.mean(), agg.gini_f1.stddev(),
-                agg.avg_forwarded.mean(), agg.avg_forwarded.stddev());
-    }
-  }
-  std::printf("%s", table.render().c_str());
-
-  const double gap = k4_20.gini_f2.mean() - k20_20.gini_f2.mean();
-  const double noise = k4_20.gini_f2.stddev() + k20_20.gini_f2.stddev();
-  std::printf("\nk=4 vs k=20 F2 gap at 20%% originators: %.4f, combined seed "
-              "noise: %.4f -> the effect is %s seed noise.\n",
-              gap, noise, gap > noise ? "well beyond" : "within");
-  core::write_text_file(args.out_dir + "/variance.csv", csv_text.str());
-  std::printf("wrote %s/variance.csv\n", args.out_dir.c_str());
-  return 0;
+  return fairswap::harness::run_scenario("variance", argc, argv, std::cout);
 }

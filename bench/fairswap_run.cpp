@@ -1,0 +1,204 @@
+// fairswap_run — the one experiment driver over the harness:
+//
+//   fairswap_run list                      # scenarios + bindable keys
+//   fairswap_run <scenario> key=value...   # run a registered scenario
+//   fairswap_run sweep k=4,20 originators=0.2,1.0 seeds=8 threads=4
+//
+// Scenario mode dispatches to the registry (the bench_fig4 etc. binaries
+// are thin aliases of this). Sweep mode builds a declarative
+// ExperimentPlan: every key goes through the parameter-binding table
+// (unknown keys and malformed values are hard errors, not silent
+// defaults), comma-separated values become sweep axes (expanded in
+// alphabetical key order, last axis fastest), topology-equal runs share
+// one built overlay per seed, and results stream as a text table plus
+// fairswap.run.v1 JSON and CSV files.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/scenarios.hpp"
+#include "harness/binding.hpp"
+#include "harness/plan.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sink.hpp"
+
+namespace {
+
+using namespace fairswap;
+
+/// Keys the sweep command consumes itself; everything else must be a
+/// bindable experiment parameter.
+const std::vector<std::string> kSweepReserved = {
+    "out", "seeds", "threads", "json", "csv", "config", "verbose"};
+
+void usage(std::ostream& out) {
+  out << "usage:\n"
+         "  fairswap_run list\n"
+         "  fairswap_run <scenario> [files=N] [seed=N] [out=DIR] [key=value...]\n"
+         "  fairswap_run sweep [key=value | key=v1,v2,...]... [seeds=N]\n"
+         "               [threads=T] [out=DIR] [json=FILE] [csv=FILE]\n"
+         "               [config=FILE]\n"
+         "\n"
+         "Sweep keys go through the parameter-binding table ('fairswap_run\n"
+         "list' prints it); comma-separated values become sweep axes,\n"
+         "expanded in alphabetical key order with the last axis varying\n"
+         "fastest. config=FILE applies newline-separated key=value pairs\n"
+         "to the base configuration first (single values only; '#' starts\n"
+         "a comment), then command-line keys override. The default base is\n"
+         "the paper's 1000-node grid cell (k=4, 100% originators, 10k\n"
+         "files).\n";
+}
+
+void list(std::ostream& out) {
+  harness::register_builtin_scenarios();
+  out << "registered scenarios:\n";
+  for (const auto& s : harness::ScenarioRegistry::instance().list()) {
+    out << "  " << s.name << " - " << s.description << "\n";
+  }
+  out << "\nbindable parameters (scenario overrides and sweep axes):\n";
+  for (const auto& b : harness::BindingTable::instance().bindings()) {
+    out << "  " << b.key << " - " << b.description << "\n";
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    if (comma == std::string::npos) {
+      parts.push_back(value.substr(begin));
+      break;
+    }
+    parts.push_back(value.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+int run_sweep(const Config& args) {
+  harness::ExperimentPlan plan;
+  // The paper's baseline cell; axes and single-value keys override it.
+  plan.base = core::paper_config(4, 1.0, 10'000, kDefaultSeed);
+  plan.base.label.clear();
+  plan.title = "sweep";
+  plan.seeds = static_cast<std::size_t>(args.get_or("seeds", std::uint64_t{1}));
+  plan.threads =
+      static_cast<std::size_t>(args.get_or("threads", std::uint64_t{0}));
+  const std::string out_dir = args.get_or("out", std::string{"bench_out"});
+  const std::string json_path =
+      args.get_or("json", out_dir + "/RUN_sweep.json");
+  const std::string csv_path = args.get_or("csv", out_dir + "/sweep.csv");
+  const std::string parse_error = args.last_error();
+  if (!parse_error.empty()) {
+    std::cerr << "error: " << parse_error << "\n";
+    return 2;
+  }
+
+  const auto& table = harness::BindingTable::instance();
+
+  // Base-config file first, then command-line overrides on top. The file
+  // goes through the same binding table as everything else (apply_all:
+  // unknown keys are errors), single values only.
+  if (args.has("config")) {
+    const std::string config_path = *args.get("config");
+    std::ifstream config_in(config_path);
+    if (!config_in) {
+      std::cerr << "error: cannot read config file " << config_path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << config_in.rdbuf();
+    const Config file_cfg = Config::from_text(text.str());
+    const auto errors = table.apply_all(plan.base, file_cfg, kSweepReserved);
+    if (!errors.empty()) {
+      for (const std::string& err : errors) {
+        std::cerr << "error: " << config_path << ": " << err << "\n";
+      }
+      return 2;
+    }
+  }
+
+  for (const auto& [key, value] : args.entries()) {
+    if (std::find(kSweepReserved.begin(), kSweepReserved.end(), key) !=
+        kSweepReserved.end()) {
+      continue;
+    }
+    if (value.find(',') != std::string::npos) {
+      if (!table.find(key)) {
+        std::cerr << "error: unknown parameter '" << key
+                  << "' (see 'fairswap_run list')\n";
+        return 2;
+      }
+      plan.axes.push_back({key, split_csv(value)});
+    } else {
+      const std::string err = table.apply(plan.base, key, value);
+      if (!err.empty()) {
+        std::cerr << "error: " << err << "\n";
+        return 2;
+      }
+    }
+  }
+
+  // Validate the full expansion before touching the output files, so a
+  // bad sweep cannot truncate a previous run's artifacts.
+  {
+    std::vector<harness::PlannedRun> runs;
+    std::string error;
+    if (!harness::expand(plan, runs, error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  std::ofstream json_file(json_path);
+  std::ofstream csv_file(csv_path);
+  if (!json_file || !csv_file) {
+    std::cerr << "error: cannot write " << (!json_file ? json_path : csv_path)
+              << "\n";
+    return 1;
+  }
+
+  harness::TableSink table_sink(std::cout);
+  harness::JsonSink json_sink(json_file);
+  harness::CsvSink csv_sink(csv_file);
+  harness::MetricSink* sinks[] = {&table_sink, &json_sink, &csv_sink};
+
+  std::string error;
+  if (!harness::run_plan(plan, sinks, error, &std::cout)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  json_file << "\n";
+  std::cout << "wrote " << csv_path << " and " << json_path
+            << " (schema fairswap.run.v1)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fairswap::Config args = fairswap::Config::from_args(argc, argv);
+  if (args.positional().empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string& command = args.positional().front();
+  if (command == "help" || command == "--help") {
+    usage(std::cout);
+    return 0;
+  }
+  if (command == "list") {
+    list(std::cout);
+    return 0;
+  }
+  if (command == "sweep") return run_sweep(args);
+  return fairswap::harness::run_scenario(command, argc, argv, std::cout);
+}

@@ -73,7 +73,9 @@ std::int64_t Config::get_or(const std::string& key, std::int64_t dflt) const {
   if (!v) return dflt;
   char* end = nullptr;
   const long long parsed = std::strtoll(v->c_str(), &end, 10);
-  return (end && *end == '\0' && !v->empty()) ? parsed : dflt;
+  if (end && *end == '\0' && !v->empty()) return parsed;
+  last_error_ = key + ": cannot parse '" + *v + "' as an integer";
+  return dflt;
 }
 
 std::uint64_t Config::get_or(const std::string& key, std::uint64_t dflt) const {
@@ -81,7 +83,9 @@ std::uint64_t Config::get_or(const std::string& key, std::uint64_t dflt) const {
   if (!v) return dflt;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
-  return (end && *end == '\0' && !v->empty()) ? parsed : dflt;
+  if (end && *end == '\0' && !v->empty()) return parsed;
+  last_error_ = key + ": cannot parse '" + *v + "' as an unsigned integer";
+  return dflt;
 }
 
 double Config::get_or(const std::string& key, double dflt) const {
@@ -89,7 +93,9 @@ double Config::get_or(const std::string& key, double dflt) const {
   if (!v) return dflt;
   char* end = nullptr;
   const double parsed = std::strtod(v->c_str(), &end);
-  return (end && *end == '\0' && !v->empty()) ? parsed : dflt;
+  if (end && *end == '\0' && !v->empty()) return parsed;
+  last_error_ = key + ": cannot parse '" + *v + "' as a number";
+  return dflt;
 }
 
 bool Config::get_or(const std::string& key, bool dflt) const {
@@ -100,7 +106,14 @@ bool Config::get_or(const std::string& key, bool dflt) const {
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
   if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  last_error_ = key + ": cannot parse '" + *v + "' as a boolean";
   return dflt;
+}
+
+std::string Config::last_error() const {
+  std::string out;
+  std::swap(out, last_error_);
+  return out;
 }
 
 }  // namespace fairswap

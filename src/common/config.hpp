@@ -36,12 +36,21 @@ class Config {
   [[nodiscard]] double get_or(const std::string& key, double dflt) const;
   [[nodiscard]] bool get_or(const std::string& key, bool dflt) const;
 
+  /// The most recent malformed-value report from a typed get_or, e.g.
+  /// "seed: cannot parse 'abc' as an integer" — empty when every parse
+  /// since the last call succeeded. Reading clears it, so callers can
+  /// check once after a batch of getters (fairswap_run does) without
+  /// stale reports leaking into the next batch.
+  [[nodiscard]] std::string last_error() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
   [[nodiscard]] const std::map<std::string, std::string>& entries() const { return kv_; }
 
  private:
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
+  /// Mutable so const getters can report; owned per Config, not global.
+  mutable std::string last_error_;
 };
 
 }  // namespace fairswap

@@ -1,0 +1,442 @@
+#include "harness/binding.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+namespace fairswap::harness {
+
+namespace {
+
+// Strict value parsers. Unlike Config::get_or these never fall back — a
+// malformed sweep value must stop the run, not silently become a default.
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s[0] == '-') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || !end || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || !end || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || !end || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<bool> parse_bool(const std::string& s) {
+  std::string t = s;
+  std::transform(t.begin(), t.end(), t.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (t == "1" || t == "true" || t == "yes" || t == "on") return true;
+  if (t == "0" || t == "false" || t == "no" || t == "off") return false;
+  return std::nullopt;
+}
+
+/// Shortest decimal rendering that round-trips the double exactly, so a
+/// snapshot re-applied through the (strict) parser reproduces the config
+/// bit-for-bit.
+std::string format_double(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string bad(const std::string& key, const std::string& value,
+                const char* expected) {
+  return key + ": '" + value + "' is not " + expected;
+}
+
+// Setter builders. Each returns "" on success and leaves the config
+// untouched on failure. They are plain function templates so the Binding
+// entries below stay one line per key.
+
+using Cfg = core::ExperimentConfig;
+
+std::string set_share(double& field, const std::string& key,
+                      const std::string& v, bool allow_zero) {
+  const auto parsed = parse_double(v);
+  if (!parsed) return bad(key, v, "a number");
+  if (*parsed < 0.0 || *parsed > 1.0 || (!allow_zero && *parsed == 0.0)) {
+    return key + ": must be in " + (allow_zero ? "[0, 1]" : "(0, 1]");
+  }
+  field = *parsed;
+  return {};
+}
+
+std::string set_token(Token& field, const std::string& key,
+                      const std::string& v, bool allow_zero) {
+  const auto parsed = parse_i64(v);
+  if (!parsed) return bad(key, v, "an integer (token base units)");
+  if (*parsed < 0 || (!allow_zero && *parsed == 0)) {
+    return key + ": must be " + (allow_zero ? "non-negative" : "positive");
+  }
+  field = Token(*parsed);
+  return {};
+}
+
+std::string set_bool(bool& field, const std::string& key,
+                     const std::string& v) {
+  const auto parsed = parse_bool(v);
+  if (!parsed) return bad(key, v, "a boolean (true/false/1/0/yes/no/on/off)");
+  field = *parsed;
+  return {};
+}
+
+std::string set_name(std::string& field, const std::string& key,
+                     const std::string& v,
+                     std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed) {
+    if (v == a) {
+      field = v;
+      return {};
+    }
+  }
+  std::string msg = key + ": unknown value '" + v + "' (expected one of";
+  for (const char* a : allowed) msg += std::string(" ") + a;
+  return msg + ")";
+}
+
+}  // namespace
+
+BindingTable::BindingTable() {
+  // One entry per knob, kept in rough config-struct order so a snapshot
+  // reads like an ExperimentConfig literal. Setters are captureless
+  // lambdas so Binding stays a plain function-pointer struct.
+  const auto add = [this](const char* key, const char* description,
+                          std::string (*set)(Cfg&, const std::string&),
+                          std::string (*get)(const Cfg&)) {
+    bindings_.push_back(Binding{key, description, set, get});
+  };
+
+  add("label", "run label shown in tables and sinks",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        c.label = v;
+        return {};
+      },
+      +[](const Cfg& c) { return c.label; });
+
+  add("nodes", "overlay node count (>= 2)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("nodes", v, "a node count");
+        if (*p < 2) return "nodes: must be at least 2";
+        c.topology.node_count = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.topology.node_count); });
+
+  add("bits", "address-space width in bits (1..30)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("bits", v, "a bit width");
+        if (*p < 1 || *p > 30) return "bits: must be in [1, 30]";
+        c.topology.address_bits = static_cast<int>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.topology.address_bits); });
+
+  add("k", "routing-table bucket capacity (the paper's k)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("k", v, "a bucket capacity");
+        if (*p < 1) return "k: must be at least 1";
+        c.topology.buckets.k = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.topology.buckets.k); });
+
+  add("k_bucket0", "bucket-0-only capacity override (0 = none)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("k_bucket0", v, "a bucket capacity");
+        c.topology.buckets.k_bucket0 = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.topology.buckets.k_bucket0); });
+
+  add("neighborhood_connect", "also connect full Swarm neighborhoods",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.topology.neighborhood_connect, "neighborhood_connect", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.topology.neighborhood_connect ? "true" : "false");
+      });
+
+  add("files", "file transfers to simulate",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("files", v, "a file count");
+        c.files = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.files); });
+
+  add("seed", "root RNG seed",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("seed", v, "an unsigned integer");
+        c.seed = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.seed); });
+
+  add("lorenz_points", "Lorenz curve resolution (0 = per node)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("lorenz_points", v, "a point count");
+        c.lorenz_points = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.lorenz_points); });
+
+  add("originators", "share of nodes eligible to originate, (0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.sim.workload.originator_share, "originators", v,
+                         /*allow_zero=*/false);
+      },
+      +[](const Cfg& c) {
+        return format_double(c.sim.workload.originator_share);
+      });
+
+  add("min_chunks", "minimum chunks per file",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("min_chunks", v, "a chunk count");
+        if (*p < 1) return "min_chunks: must be at least 1";
+        c.sim.workload.min_chunks_per_file = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) {
+        return std::to_string(c.sim.workload.min_chunks_per_file);
+      });
+
+  add("max_chunks", "maximum chunks per file",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("max_chunks", v, "a chunk count");
+        if (*p < 1) return "max_chunks: must be at least 1";
+        c.sim.workload.max_chunks_per_file = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) {
+        return std::to_string(c.sim.workload.max_chunks_per_file);
+      });
+
+  add("upload_share", "share of transfers that are uploads, [0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.sim.workload.upload_share, "upload_share", v,
+                         /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) { return format_double(c.sim.workload.upload_share); });
+
+  add("zipf", "Zipf exponent over originators (0 = uniform)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("zipf", v, "a number");
+        if (*p < 0.0) return "zipf: must be non-negative";
+        c.sim.workload.originator_zipf_alpha = *p;
+        return {};
+      },
+      +[](const Cfg& c) {
+        return format_double(c.sim.workload.originator_zipf_alpha);
+      });
+
+  add("catalog", "fixed content-catalog size (0 = fresh uniform chunks)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("catalog", v, "a catalog size");
+        c.sim.workload.catalog_size = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.workload.catalog_size); });
+
+  add("catalog_zipf", "Zipf exponent over the catalog",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("catalog_zipf", v, "a number");
+        if (*p < 0.0) return "catalog_zipf: must be non-negative";
+        c.sim.workload.catalog_zipf_alpha = *p;
+        return {};
+      },
+      +[](const Cfg& c) {
+        return format_double(c.sim.workload.catalog_zipf_alpha);
+      });
+
+  add("pricer", "chunk pricer: xor-distance | proximity | flat",
+      +[](Cfg& c, const std::string& v) {
+        return set_name(c.sim.pricer, "pricer", v,
+                        {"xor-distance", "proximity", "flat"});
+      },
+      +[](const Cfg& c) { return c.sim.pricer; });
+
+  add("policy",
+      "payment policy: zero-proximity | per-hop-swap | tit-for-tat | "
+      "effort-based",
+      +[](Cfg& c, const std::string& v) {
+        return set_name(c.sim.policy, "policy", v,
+                        {"zero-proximity", "per-hop-swap", "tit-for-tat",
+                         "effort-based"});
+      },
+      +[](const Cfg& c) { return c.sim.policy; });
+
+  add("cache", "per-node LRU cache capacity in chunks (0 = off)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("cache", v, "a chunk count");
+        c.sim.cache_capacity = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.cache_capacity); });
+
+  add("free_riders", "share of nodes that never pay, [0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.sim.free_rider_share, "free_riders", v,
+                         /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) { return format_double(c.sim.free_rider_share); });
+
+  add("amortize_each_step", "apply one amortization tick per file",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.sim.amortize_each_step, "amortize_each_step", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.sim.amortize_each_step ? "true" : "false");
+      });
+
+  add("amortization", "base units forgiven per pair per tick",
+      +[](Cfg& c, const std::string& v) {
+        return set_token(c.sim.swap.amortization_per_tick, "amortization", v,
+                         /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) {
+        return std::to_string(c.sim.swap.amortization_per_tick.base_units());
+      });
+
+  add("payment_threshold", "SWAP payment threshold in base units",
+      +[](Cfg& c, const std::string& v) {
+        return set_token(c.sim.swap.payment_threshold, "payment_threshold", v,
+                         /*allow_zero=*/false);
+      },
+      +[](const Cfg& c) {
+        return std::to_string(c.sim.swap.payment_threshold.base_units());
+      });
+
+  add("disconnect_threshold", "SWAP disconnect threshold in base units",
+      +[](Cfg& c, const std::string& v) {
+        return set_token(c.sim.swap.disconnect_threshold,
+                         "disconnect_threshold", v, /*allow_zero=*/false);
+      },
+      +[](const Cfg& c) {
+        return std::to_string(c.sim.swap.disconnect_threshold.base_units());
+      });
+
+  add("compiled_routing", "route via the compiled NodeIndex hot path",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.sim.compiled_routing, "compiled_routing", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.sim.compiled_routing ? "true" : "false");
+      });
+
+  add("compiled_ledger", "keep SWAP balances in the edge-arena ledger",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.sim.compiled_ledger, "compiled_ledger", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.sim.compiled_ledger ? "true" : "false");
+      });
+
+  add("max_hops", "route hop cap (0 = default 4x address bits)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("max_hops", v, "a hop count");
+        c.sim.max_route_hops = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.max_route_hops); });
+}
+
+const BindingTable& BindingTable::instance() {
+  static const BindingTable table;
+  return table;
+}
+
+const Binding* BindingTable::find(const std::string& key) const {
+  for (const Binding& b : bindings_) {
+    if (b.key == key) return &b;
+  }
+  return nullptr;
+}
+
+std::string BindingTable::apply(core::ExperimentConfig& cfg,
+                                const std::string& key,
+                                const std::string& value) const {
+  const Binding* binding = find(key);
+  if (!binding) return "unknown parameter '" + key + "'";
+  return binding->set(cfg, value);
+}
+
+std::vector<std::string> BindingTable::apply_all(
+    core::ExperimentConfig& cfg, const Config& args,
+    std::span<const std::string> reserved) const {
+  std::vector<std::string> errors;
+  for (const auto& [key, value] : args.entries()) {
+    if (std::find(reserved.begin(), reserved.end(), key) != reserved.end()) {
+      continue;
+    }
+    std::string err = apply(cfg, key, value);
+    if (!err.empty()) errors.push_back(std::move(err));
+  }
+  return errors;
+}
+
+std::vector<std::pair<std::string, std::string>> BindingTable::snapshot(
+    const core::ExperimentConfig& cfg) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(bindings_.size());
+  for (const Binding& b : bindings_) {
+    out.emplace_back(b.key, b.get(cfg));
+  }
+  return out;
+}
+
+std::string validate(const core::ExperimentConfig& cfg) {
+  if (cfg.topology.address_bits < 64 &&
+      cfg.topology.node_count >
+          (std::uint64_t{1} << cfg.topology.address_bits)) {
+    return "nodes: " + std::to_string(cfg.topology.node_count) +
+           " nodes do not fit a " + std::to_string(cfg.topology.address_bits) +
+           "-bit address space";
+  }
+  if (cfg.sim.workload.min_chunks_per_file >
+      cfg.sim.workload.max_chunks_per_file) {
+    return "min_chunks: must not exceed max_chunks";
+  }
+  if (cfg.sim.swap.payment_threshold > cfg.sim.swap.disconnect_threshold) {
+    return "payment_threshold: must not exceed disconnect_threshold";
+  }
+  return {};
+}
+
+}  // namespace fairswap::harness

@@ -1,0 +1,285 @@
+#include "harness/plan.hpp"
+
+#include <array>
+#include <optional>
+#include <thread>
+
+#include "core/task_pool.hpp"
+#include "harness/binding.hpp"
+
+namespace fairswap::harness {
+
+namespace {
+
+/// Caps runaway cartesian products before they allocate.
+constexpr std::size_t kMaxRuns = 1'000'000;
+
+std::string assignment_label(
+    const std::vector<std::pair<std::string, std::string>>& assignment) {
+  std::string label;
+  for (const auto& [key, value] : assignment) {
+    if (!label.empty()) label += ", ";
+    label += key + "=" + value;
+  }
+  return label;
+}
+
+/// The per-(run, seed) scalars run_plan keeps — everything MetricStats
+/// folds, nothing per-node. Must stay in sync with fold_cell/add_cell.
+using Cell = std::array<double, 14>;
+
+Cell extract(const core::ExperimentResult& r) {
+  return Cell{r.fairness.gini_f2,
+              r.fairness.gini_f1,
+              r.fairness.gini_f1_income,
+              r.avg_forwarded_chunks,
+              r.routing_success,
+              r.total_income,
+              r.outstanding_debt,
+              static_cast<double>(r.settlement_count),
+              static_cast<double>(r.totals.total_transmissions),
+              static_cast<double>(r.totals.delivered),
+              static_cast<double>(r.totals.failed_routes),
+              static_cast<double>(r.totals.truncated_routes),
+              static_cast<double>(r.cache_serves),
+              r.runtime_seconds};
+}
+
+void fold_cell(MetricStats& stats, const Cell& cell) {
+  stats.gini_f2.add(cell[0]);
+  stats.gini_f1.add(cell[1]);
+  stats.gini_f1_income.add(cell[2]);
+  stats.avg_forwarded.add(cell[3]);
+  stats.routing_success.add(cell[4]);
+  stats.total_income.add(cell[5]);
+  stats.outstanding_debt.add(cell[6]);
+  stats.settlements.add(cell[7]);
+  stats.total_transmissions.add(cell[8]);
+  stats.delivered.add(cell[9]);
+  stats.failed_routes.add(cell[10]);
+  stats.truncated_routes.add(cell[11]);
+  stats.cache_serves.add(cell[12]);
+  stats.runtime_s.add(cell[13]);
+}
+
+}  // namespace
+
+bool expand(const ExperimentPlan& plan, std::vector<PlannedRun>& out,
+            std::string& error) {
+  out.clear();
+  const BindingTable& table = BindingTable::instance();
+
+  std::size_t total = 1;
+  for (const SweepAxis& axis : plan.axes) {
+    if (!table.find(axis.key)) {
+      error = "unknown sweep axis '" + axis.key + "'";
+      return false;
+    }
+    if (axis.key == "seed") {
+      // Execution derives per-run seeds from base.seed + seeds=N; a seed
+      // axis would be silently overwritten into N identical runs.
+      error = "'seed' cannot be a sweep axis - use seeds=N for multi-seed "
+              "runs (seed=K sets the base seed)";
+      return false;
+    }
+    if (axis.values.empty()) {
+      error = "sweep axis '" + axis.key + "' has no values";
+      return false;
+    }
+    if (axis.values.size() > kMaxRuns / total) {
+      error = "sweep expands to more than " + std::to_string(kMaxRuns) +
+              " runs";
+      return false;
+    }
+    total *= axis.values.size();
+  }
+
+  // Topology-equal groups, numbered in first-appearance order. All runs
+  // share the plan's seed list, so the group key is the topology config
+  // alone.
+  std::vector<overlay::TopologyConfig> group_reps;
+
+  out.reserve(total);
+  for (std::size_t run_index = 0; run_index < total; ++run_index) {
+    PlannedRun run;
+    run.index = run_index;
+    run.config = plan.base;
+
+    // Mixed-radix decode, last axis fastest (innermost loop).
+    std::size_t rest = run_index;
+    std::vector<std::size_t> choice(plan.axes.size(), 0);
+    for (std::size_t i = plan.axes.size(); i-- > 0;) {
+      choice[i] = rest % plan.axes[i].values.size();
+      rest /= plan.axes[i].values.size();
+    }
+    for (std::size_t i = 0; i < plan.axes.size(); ++i) {
+      const SweepAxis& axis = plan.axes[i];
+      const std::string& value = axis.values[choice[i]];
+      std::string err = table.apply(run.config, axis.key, value);
+      if (!err.empty()) {
+        error = err;
+        return false;
+      }
+      run.assignment.emplace_back(axis.key, value);
+    }
+
+    std::string err = validate(run.config);
+    if (!err.empty()) {
+      error = plan.axes.empty()
+                  ? err
+                  : assignment_label(run.assignment) + ": " + err;
+      return false;
+    }
+
+    if (!plan.axes.empty()) {
+      run.config.label = assignment_label(run.assignment);
+    } else if (run.config.label.empty()) {
+      run.config.label = "run";
+    }
+
+    run.topology_group = group_reps.size();
+    for (std::size_t g = 0; g < group_reps.size(); ++g) {
+      if (group_reps[g] == run.config.topology) {
+        run.topology_group = g;
+        break;
+      }
+    }
+    if (run.topology_group == group_reps.size()) {
+      group_reps.push_back(run.config.topology);
+    }
+
+    out.push_back(std::move(run));
+  }
+  return true;
+}
+
+PlanSummary summarize(const ExperimentPlan& plan, std::size_t run_count) {
+  PlanSummary summary;
+  summary.title = plan.title;
+  summary.base = BindingTable::instance().snapshot(plan.base);
+  for (const SweepAxis& axis : plan.axes) {
+    summary.axes.emplace_back(axis.key, axis.values);
+  }
+  summary.seeds = std::max<std::size_t>(1, plan.seeds);
+  summary.threads = plan.threads;
+  summary.run_count = run_count;
+  return summary;
+}
+
+bool run_plan(const ExperimentPlan& plan, std::span<MetricSink* const> sinks,
+              std::string& error, std::ostream* progress) {
+  std::vector<PlannedRun> runs;
+  if (!expand(plan, runs, error)) return false;
+
+  const std::size_t seeds = std::max<std::size_t>(1, plan.seeds);
+  std::size_t threads = plan.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  std::vector<std::vector<std::size_t>> groups;
+  for (const PlannedRun& run : runs) {
+    if (run.topology_group >= groups.size()) {
+      groups.resize(run.topology_group + 1);
+    }
+    groups[run.topology_group].push_back(run.index);
+  }
+
+  if (progress) {
+    *progress << "plan '" << plan.title << "': " << runs.size() << " runs x "
+              << seeds << " seeds (" << groups.size()
+              << " topology groups, " << threads << " threads)\n";
+    progress->flush();
+  }
+
+  const PlanSummary summary = summarize(plan, runs.size());
+  for (MetricSink* sink : sinks) sink->begin(summary);
+
+  // One task per (topology group, seed): build the group's overlay once,
+  // run every member config on it, keep only the folded scalars. The
+  // cells vector is the whole cross-run memory footprint.
+  std::vector<Cell> cells(runs.size() * seeds);
+  const std::size_t task_count = groups.size() * seeds;
+  const auto run_task = [&](std::size_t task) {
+    const std::size_t group = task / seeds;
+    const std::size_t seed_index = task % seeds;
+    const std::uint64_t seed = plan.base.seed + seed_index;
+
+    core::ExperimentConfig topo_cfg = runs[groups[group][0]].config;
+    topo_cfg.seed = seed;
+    const overlay::Topology topo = core::build_topology(topo_cfg);
+    for (const std::size_t run_index : groups[group]) {
+      core::ExperimentConfig cfg = runs[run_index].config;
+      cfg.seed = seed;
+      cells[run_index * seeds + seed_index] =
+          extract(core::run_experiment(topo, cfg));
+    }
+  };
+
+  if (threads <= 1 || task_count <= 1) {
+    for (std::size_t t = 0; t < task_count; ++t) run_task(t);
+  } else {
+    core::TaskPool pool(std::min(threads, task_count));
+    pool.parallel_for(task_count, run_task);
+  }
+
+  // Fold per run in seed order on this thread — the same RunningStats
+  // add() sequence for any thread count — and stream in expansion order.
+  for (const PlannedRun& run : runs) {
+    RunRecord record;
+    record.index = run.index;
+    record.label = run.config.label;
+    record.assignment = run.assignment;
+    record.seeds = seeds;
+    for (std::size_t si = 0; si < seeds; ++si) {
+      fold_cell(record.metrics, cells[run.index * seeds + si]);
+    }
+    for (MetricSink* sink : sinks) sink->record(record);
+  }
+  for (MetricSink* sink : sinks) sink->end();
+  return true;
+}
+
+std::vector<core::ExperimentResult> run_grid(
+    std::span<const core::ExperimentConfig> configs,
+    const std::function<void(const core::ExperimentConfig&)>& on_run) {
+  // Group by (topology config, seed); remember each group's last user so
+  // the overlay is released as soon as nothing later needs it.
+  struct Group {
+    overlay::TopologyConfig tcfg;
+    std::uint64_t seed{0};
+    std::size_t last_use{0};
+    std::optional<overlay::Topology> topo;
+  };
+  std::vector<Group> groups;
+  std::vector<std::size_t> group_of(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    std::size_t g = groups.size();
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (groups[j].tcfg == configs[i].topology &&
+          groups[j].seed == configs[i].seed) {
+        g = j;
+        break;
+      }
+    }
+    if (g == groups.size()) {
+      groups.push_back(Group{configs[i].topology, configs[i].seed, i, {}});
+    }
+    groups[g].last_use = i;
+    group_of[i] = g;
+  }
+
+  std::vector<core::ExperimentResult> results;
+  results.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const core::ExperimentConfig& cfg = configs[i];
+    if (on_run) on_run(cfg);
+    Group& group = groups[group_of[i]];
+    if (!group.topo) group.topo = core::build_topology(cfg);
+    results.push_back(core::run_experiment(*group.topo, cfg));
+    if (group.last_use == i) group.topo.reset();
+  }
+  return results;
+}
+
+}  // namespace fairswap::harness

@@ -1,0 +1,107 @@
+#include "harness/scenario.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace fairswap::harness {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  for (Scenario& existing : scenarios_) {
+    if (existing.name == scenario.name) {
+      existing = std::move(scenario);
+      return;
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const Scenario& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int run_scenario(const std::string& name, int argc, char** argv,
+                 std::ostream& out) {
+  register_builtin_scenarios();
+  const Scenario* scenario = ScenarioRegistry::instance().find(name);
+  if (!scenario) {
+    out << "error: unknown scenario '" << name << "'. Registered scenarios:\n";
+    for (const Scenario& s : ScenarioRegistry::instance().list()) {
+      out << "  " << s.name << " - " << s.description << "\n";
+    }
+    return 2;
+  }
+
+  ScenarioContext ctx;
+  ctx.args = Config::from_args(argc, argv);
+
+  // Unknown keys are errors, not silent no-ops: a typo'd files= must not
+  // quietly run the full-scale default.
+  static const char* kSharedKeys[] = {"files", "seed", "out", "threads",
+                                      "verbose"};
+  for (const auto& [key, value] : ctx.args.entries()) {
+    bool known = false;
+    for (const char* shared : kSharedKeys) known = known || key == shared;
+    for (const std::string& extra : scenario->extra_keys) {
+      known = known || key == extra;
+    }
+    if (!known) {
+      out << "error: unknown argument '" << key << "' for scenario '"
+          << scenario->name << "' (accepted:";
+      for (const char* shared : kSharedKeys) out << " " << shared;
+      for (const std::string& extra : scenario->extra_keys) out << " " << extra;
+      out << ")\n";
+      return 2;
+    }
+  }
+
+  ctx.files = ctx.args.get_or("files",
+                              static_cast<std::uint64_t>(scenario->default_files));
+  ctx.seed = ctx.args.get_or("seed", kDefaultSeed);
+  ctx.out_dir = ctx.args.get_or("out", std::string{"bench_out"});
+  ctx.threads =
+      static_cast<std::size_t>(ctx.args.get_or("threads", std::uint64_t{0}));
+  if (ctx.args.get_or("verbose", false)) Log::set_level(LogLevel::kInfo);
+  ctx.out = &out;
+
+  // The typed getters above fall back on malformed values; surface the
+  // report instead of silently running a default-sized experiment.
+  const std::string parse_error = ctx.args.last_error();
+  if (!parse_error.empty()) {
+    out << "error: " << parse_error << "\n";
+    return 2;
+  }
+
+  return scenario->run(ctx);
+}
+
+void print(std::ostream& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (needed >= 0) {
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.write(buf.data(), needed);
+  }
+  va_end(args);
+}
+
+void banner(std::ostream& out, const std::string& title) {
+  print(out, "\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace fairswap::harness

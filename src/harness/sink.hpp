@@ -1,0 +1,141 @@
+// MetricSink — the stream protocol between the experiment runner and its
+// outputs. The runner announces the plan (begin), emits one compact
+// RunRecord per expanded run as soon as it is folded (record), and closes
+// (end). Records carry only aggregated scalars, never per-node vectors, so
+// a 10k-node multi-seed sweep streams through sinks without ever buffering
+// full ExperimentResults.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/json.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace fairswap::harness {
+
+/// The sweep axes and fixed base parameters of a plan, as strings — what a
+/// sink needs to label its output and nothing more.
+struct PlanSummary {
+  std::string title;
+  /// Canonical key=value snapshot of the base config (binding-table order).
+  std::vector<std::pair<std::string, std::string>> base;
+  /// Axis keys in expansion order (last varies fastest) with their values.
+  std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+  std::size_t seeds{1};
+  std::size_t threads{1};
+  std::size_t run_count{0};
+};
+
+/// Per-run aggregates across seeds. One RunningStats per headline metric;
+/// with a single seed the mean is the value and the stddev is 0.
+struct MetricStats {
+  RunningStats gini_f2;
+  RunningStats gini_f1;
+  RunningStats gini_f1_income;
+  RunningStats avg_forwarded;
+  RunningStats routing_success;
+  RunningStats total_income;
+  RunningStats outstanding_debt;
+  RunningStats settlements;
+  RunningStats total_transmissions;
+  RunningStats delivered;
+  RunningStats failed_routes;
+  RunningStats truncated_routes;
+  RunningStats cache_serves;
+  RunningStats runtime_s;
+
+  /// Visits every metric as (name, stats), in the fixed schema order the
+  /// CSV and JSON sinks emit. Adding a metric here adds it to every sink.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    fn("gini_f2", gini_f2);
+    fn("gini_f1", gini_f1);
+    fn("gini_f1_income", gini_f1_income);
+    fn("avg_forwarded", avg_forwarded);
+    fn("routing_success", routing_success);
+    fn("total_income", total_income);
+    fn("outstanding_debt", outstanding_debt);
+    fn("settlements", settlements);
+    fn("total_transmissions", total_transmissions);
+    fn("delivered", delivered);
+    fn("failed_routes", failed_routes);
+    fn("truncated_routes", truncated_routes);
+    fn("cache_serves", cache_serves);
+    fn("runtime_s", runtime_s);
+  }
+};
+
+/// One expanded run's identity plus its folded metrics.
+struct RunRecord {
+  std::size_t index{0};
+  std::string label;
+  /// The axis assignment that produced this run, in axis order.
+  std::vector<std::pair<std::string, std::string>> assignment;
+  std::size_t seeds{1};
+  MetricStats metrics;
+};
+
+/// Receives a stream of run records. Implementations must not assume they
+/// see records before end() (a failing plan may emit none).
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  virtual void begin(const PlanSummary& plan) { (void)plan; }
+  virtual void record(const RunRecord& run) = 0;
+  virtual void end() {}
+};
+
+/// Renders an aligned text table of the headline metrics (stdout-style
+/// sink). Values print as "mean ± sd" for multi-seed runs.
+class TableSink final : public MetricSink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(&out) {}
+
+  void begin(const PlanSummary& plan) override;
+  void record(const RunRecord& run) override;
+  void end() override;
+
+ private:
+  std::ostream* out_;
+  std::optional<TextTable> table_;
+};
+
+/// Streams one CSV row per run: label, axis values, seed count, then
+/// mean/sd for every metric. Header goes out at begin(), rows as runs
+/// complete — nothing is buffered.
+class CsvSink final : public MetricSink {
+ public:
+  explicit CsvSink(std::ostream& out) : writer_(out) {}
+
+  void begin(const PlanSummary& plan) override;
+  void record(const RunRecord& run) override;
+
+ private:
+  CsvWriter writer_;
+};
+
+/// Streams the general machine-readable roll-up, schema fairswap.run.v1:
+/// {"schema":"fairswap.run.v1","title":...,"plan":{...},"runs":[...]}.
+/// The plan header is written at begin(), each run object as it completes,
+/// and the document is closed at end().
+class JsonSink final : public MetricSink {
+ public:
+  explicit JsonSink(std::ostream& out) : json_(out) {}
+
+  void begin(const PlanSummary& plan) override;
+  void record(const RunRecord& run) override;
+  void end() override;
+
+ private:
+  JsonWriter json_;
+};
+
+}  // namespace fairswap::harness

@@ -34,6 +34,8 @@ struct BucketPolicy {
     if (bucket == 0 && k_bucket0 > 0) return k_bucket0;
     return k;
   }
+
+  friend bool operator==(const BucketPolicy&, const BucketPolicy&) = default;
 };
 
 /// A routing table: `bits` buckets of at most k peers each, plus the

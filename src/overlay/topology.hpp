@@ -74,6 +74,10 @@ struct TopologyConfig {
   bool neighborhood_connect{false};
   /// Minimum peers defining the neighborhood depth (Swarm uses 4).
   std::size_t neighborhood_min_peers{4};
+
+  /// Equal configs build equal topologies from equal seeds — what lets the
+  /// experiment harness share one built topology across a sweep group.
+  friend bool operator==(const TopologyConfig&, const TopologyConfig&) = default;
 };
 
 /// An immutable overlay: addresses, routing tables, and the closest-node

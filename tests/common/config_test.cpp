@@ -66,6 +66,38 @@ TEST(Config, LaterValuesOverwrite) {
   EXPECT_EQ(c.get_or("k", std::int64_t{0}), 20);
 }
 
+TEST(Config, LastErrorReportsMalformedValues) {
+  const Config c = parse({"n=abc", "ok=7"});
+  EXPECT_EQ(c.last_error(), "");  // nothing parsed yet
+  EXPECT_EQ(c.get_or("ok", std::int64_t{0}), 7);
+  EXPECT_EQ(c.last_error(), "");  // clean parse leaves no report
+  EXPECT_EQ(c.get_or("n", std::int64_t{5}), 5);
+  EXPECT_EQ(c.last_error(), "n: cannot parse 'abc' as an integer");
+}
+
+TEST(Config, LastErrorClearsOnRead) {
+  const Config c = parse({"x=oops"});
+  EXPECT_DOUBLE_EQ(c.get_or("x", 1.5), 1.5);
+  EXPECT_NE(c.last_error(), "");
+  EXPECT_EQ(c.last_error(), "");  // second read: cleared
+}
+
+TEST(Config, LastErrorCoversEveryTypedGetter) {
+  const Config c = parse({"x=nope"});
+  (void)c.get_or("x", std::int64_t{0});
+  EXPECT_NE(c.last_error(), "");
+  (void)c.get_or("x", std::uint64_t{0});
+  EXPECT_NE(c.last_error(), "");
+  (void)c.get_or("x", 0.0);
+  EXPECT_NE(c.last_error(), "");
+  (void)c.get_or("x", false);
+  EXPECT_NE(c.last_error(), "");
+  // The string getter cannot fail; missing keys are not errors either.
+  (void)c.get_or("x", std::string{"s"});
+  (void)c.get_or("absent", std::int64_t{0});
+  EXPECT_EQ(c.last_error(), "");
+}
+
 TEST(Config, HasAndGet) {
   const Config c = parse({"x=1"});
   EXPECT_TRUE(c.has("x"));

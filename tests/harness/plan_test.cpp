@@ -1,0 +1,237 @@
+#include "harness/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenarios.hpp"
+#include "harness/binding.hpp"
+
+namespace fairswap::harness {
+namespace {
+
+/// A small, fast base config: 64 nodes, 10-bit space, tiny files.
+core::ExperimentConfig tiny_base() {
+  core::ExperimentConfig cfg = core::paper_config(4, 1.0, /*files=*/5);
+  cfg.topology.node_count = 64;
+  cfg.topology.address_bits = 10;
+  cfg.sim.workload.min_chunks_per_file = 5;
+  cfg.sim.workload.max_chunks_per_file = 20;
+  cfg.lorenz_points = 10;
+  return cfg;
+}
+
+/// Captures records for assertions.
+class CaptureSink final : public MetricSink {
+ public:
+  void begin(const PlanSummary& plan) override { summary = plan; }
+  void record(const RunRecord& run) override { records.push_back(run); }
+  void end() override { ended = true; }
+
+  PlanSummary summary;
+  std::vector<RunRecord> records;
+  bool ended{false};
+};
+
+TEST(Plan, ExpansionOrderIsNestedLoopsLastAxisFastest) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.axes = {{"k", {"4", "20"}}, {"originators", {"0.2", "1.0"}}};
+
+  std::vector<PlannedRun> runs;
+  std::string error;
+  ASSERT_TRUE(expand(plan, runs, error)) << error;
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].config.label, "k=4, originators=0.2");
+  EXPECT_EQ(runs[1].config.label, "k=4, originators=1.0");
+  EXPECT_EQ(runs[2].config.label, "k=20, originators=0.2");
+  EXPECT_EQ(runs[3].config.label, "k=20, originators=1.0");
+  EXPECT_EQ(runs[1].config.topology.buckets.k, 4u);
+  EXPECT_DOUBLE_EQ(runs[1].config.sim.workload.originator_share, 1.0);
+}
+
+TEST(Plan, ExpansionIsDeterministic) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.axes = {{"k", {"4", "8", "20"}}, {"cache", {"0", "16"}}};
+
+  std::vector<PlannedRun> a, b;
+  std::string error;
+  ASSERT_TRUE(expand(plan, a, error));
+  ASSERT_TRUE(expand(plan, b, error));
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].config.label, b[i].config.label);
+    EXPECT_EQ(a[i].assignment, b[i].assignment);
+    EXPECT_EQ(a[i].topology_group, b[i].topology_group);
+  }
+}
+
+TEST(Plan, TopologyEqualRunsShareAGroup) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  // originators and cache don't touch the overlay; k does.
+  plan.axes = {{"k", {"4", "20"}}, {"originators", {"0.2", "1.0"}}};
+
+  std::vector<PlannedRun> runs;
+  std::string error;
+  ASSERT_TRUE(expand(plan, runs, error)) << error;
+  EXPECT_EQ(runs[0].topology_group, runs[1].topology_group);
+  EXPECT_EQ(runs[2].topology_group, runs[3].topology_group);
+  EXPECT_NE(runs[0].topology_group, runs[2].topology_group);
+}
+
+TEST(Plan, ExpansionRejectsUnknownAxisAndBadValue) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  std::vector<PlannedRun> runs;
+  std::string error;
+
+  plan.axes = {{"nodez", {"10"}}};
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("nodez"), std::string::npos);
+
+  plan.axes = {{"k", {"4", "lots"}}};
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("lots"), std::string::npos);
+
+  // A combination that individually parses but fails validation: more
+  // nodes than the address space holds.
+  plan.axes = {{"nodes", {"64", "4096"}}, {"bits", {"10"}}};
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("address space"), std::string::npos);
+}
+
+TEST(Plan, SeedAxisIsRejected) {
+  // Execution derives per-run seeds from base.seed + seeds=N; a 'seed'
+  // axis would be silently overwritten into identical, mislabeled runs.
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.axes = {{"seed", {"1", "2"}}};
+  std::vector<PlannedRun> runs;
+  std::string error;
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("seeds=N"), std::string::npos) << error;
+}
+
+TEST(Plan, RunPlanIsBitIdenticalForAnyThreadCount) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.axes = {{"k", {"4", "20"}}, {"originators", {"0.5", "1.0"}}};
+  plan.seeds = 3;
+
+  CaptureSink serial;
+  CaptureSink parallel;
+  std::string error;
+  plan.threads = 1;
+  {
+    MetricSink* sinks[] = {&serial};
+    ASSERT_TRUE(run_plan(plan, sinks, error)) << error;
+  }
+  plan.threads = 4;
+  {
+    MetricSink* sinks[] = {&parallel};
+    ASSERT_TRUE(run_plan(plan, sinks, error)) << error;
+  }
+
+  ASSERT_EQ(serial.records.size(), 4u);
+  ASSERT_EQ(parallel.records.size(), 4u);
+  EXPECT_TRUE(serial.ended);
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    const RunRecord& a = serial.records[i];
+    const RunRecord& b = parallel.records[i];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.seeds, 3u);
+    // Every metric except runtime_s (measured wall clock) must be
+    // bit-identical: same values folded in the same seed order.
+    std::vector<std::pair<std::string, const RunningStats*>> am, bm;
+    a.metrics.for_each([&](const char* name, const RunningStats& s) {
+      am.emplace_back(name, &s);
+    });
+    b.metrics.for_each([&](const char* name, const RunningStats& s) {
+      bm.emplace_back(name, &s);
+    });
+    ASSERT_EQ(am.size(), bm.size());
+    for (std::size_t m = 0; m < am.size(); ++m) {
+      if (am[m].first == "runtime_s") continue;
+      EXPECT_EQ(am[m].second->mean(), bm[m].second->mean())
+          << a.label << " " << am[m].first;
+      EXPECT_EQ(am[m].second->stddev(), bm[m].second->stddev())
+          << a.label << " " << am[m].first;
+      EXPECT_EQ(am[m].second->count(), 3u);
+    }
+  }
+}
+
+TEST(Plan, SharedTopologyMatchesPerRunRebuild) {
+  // The topology-sharing group execution must be bit-identical to running
+  // each config standalone (which rebuilds the topology from the same
+  // seed) — the generalization of run_paper_grid's per-k reuse.
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.axes = {{"originators", {"0.5", "1.0"}}};
+
+  CaptureSink sink;
+  std::string error;
+  MetricSink* sinks[] = {&sink};
+  ASSERT_TRUE(run_plan(plan, sinks, error)) << error;
+  ASSERT_EQ(sink.records.size(), 2u);
+
+  std::vector<PlannedRun> runs;
+  ASSERT_TRUE(expand(plan, runs, error));
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const core::ExperimentResult standalone =
+        core::run_experiment(runs[i].config);
+    EXPECT_EQ(sink.records[i].metrics.gini_f2.mean(),
+              standalone.fairness.gini_f2);
+    EXPECT_EQ(sink.records[i].metrics.total_income.mean(),
+              standalone.total_income);
+    EXPECT_EQ(sink.records[i].metrics.delivered.mean(),
+              static_cast<double>(standalone.totals.delivered));
+  }
+}
+
+TEST(Plan, RunGridSharesTopologiesAndPreservesOrder) {
+  const auto base = tiny_base();
+  std::vector<core::ExperimentConfig> configs;
+  for (const double share : {0.25, 0.5, 1.0}) {
+    core::ExperimentConfig cfg = base;
+    cfg.sim.workload.originator_share = share;
+    cfg.label = "share=" + std::to_string(share);
+    configs.push_back(cfg);
+  }
+
+  std::vector<std::string> progressed;
+  const auto results =
+      run_grid(configs, [&](const core::ExperimentConfig& cfg) {
+        progressed.push_back(cfg.label);
+      });
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(progressed.size(), 3u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(progressed[i], configs[i].label);
+    const core::ExperimentResult standalone = core::run_experiment(configs[i]);
+    EXPECT_EQ(results[i].fairness.gini_f2, standalone.fairness.gini_f2);
+    EXPECT_EQ(results[i].totals, standalone.totals);
+  }
+}
+
+TEST(Plan, SummaryCarriesAxesAndBaseSnapshot) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.axes = {{"k", {"4", "20"}}};
+  plan.seeds = 2;
+  plan.threads = 3;
+
+  const PlanSummary summary = summarize(plan, 2);
+  EXPECT_EQ(summary.seeds, 2u);
+  EXPECT_EQ(summary.threads, 3u);
+  EXPECT_EQ(summary.run_count, 2u);
+  ASSERT_EQ(summary.axes.size(), 1u);
+  EXPECT_EQ(summary.axes[0].first, "k");
+  EXPECT_EQ(summary.base.size(),
+            BindingTable::instance().bindings().size());
+}
+
+}  // namespace
+}  // namespace fairswap::harness
