@@ -21,11 +21,13 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "core/experiment.hpp"
 #include "core/scenarios.hpp"
 #include "harness/binding.hpp"
 #include "harness/plan.hpp"
 #include "harness/scenario.hpp"
 #include "harness/sink.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -156,6 +158,29 @@ int run_sweep(const Config& args) {
     }
   }
 
+  // Same courtesy for a replayed trace: surface a missing, empty or
+  // malformed file (with its line number) before anything is truncated.
+  // preload_trace_text seeds core's snapshot cache, so the validated
+  // text is exactly what the cells replay, read once. Range errors
+  // against a swept topology can still only be caught per cell — the
+  // catch around run_plan below turns those into exit 2 too.
+  if (!plan.base.trace_in.empty()) {
+    const std::string* trace_text = nullptr;
+    try {
+      trace_text = &core::preload_trace_text(plan.base.trace_in);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";  // message names the path
+      return 2;
+    }
+    try {
+      (void)workload::trace_from_csv(*trace_text);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << plan.base.trace_in << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+  }
+
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   std::ofstream json_file(json_path);
@@ -172,8 +197,19 @@ int run_sweep(const Config& args) {
   harness::MetricSink* sinks[] = {&table_sink, &json_sink, &csv_sink};
 
   std::string error;
-  if (!harness::run_plan(plan, sinks, error, &std::cout)) {
-    std::cerr << "error: " << error << "\n";
+  try {
+    if (!harness::run_plan(plan, sinks, error, &std::cout)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    // A run threw mid-plan (e.g. a trace line out of range for a swept
+    // topology): report instead of std::terminate, naming the trace like
+    // the upfront paths do. The output files may hold a partial document.
+    std::cerr << "error: "
+              << (plan.base.trace_in.empty() ? std::string{}
+                                             : plan.base.trace_in + ": ")
+              << e.what() << "\n";
     return 2;
   }
   json_file << "\n";
@@ -200,5 +236,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "sweep") return run_sweep(args);
-  return fairswap::harness::run_scenario(command, argc, argv, std::cout);
+  try {
+    return fairswap::harness::run_scenario(command, argc, argv, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

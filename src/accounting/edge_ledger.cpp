@@ -125,6 +125,20 @@ Token EdgeLedger::balance(NodeIndex provider, NodeIndex peer, EdgeId edge) const
   return pair_lo_[slot] == provider ? bal : -bal;
 }
 
+void EdgeLedger::reset() {
+  // Only the live slots carry state: zero them through the active list
+  // instead of sweeping the whole arena.
+  for (const std::uint32_t slot : active_) {
+    pair_balance_[slot] = Token(0);
+    pair_active_pos_[slot] = kInactive;
+  }
+  active_.clear();
+  std::fill(income_.begin(), income_.end(), Token(0));
+  std::fill(spent_.begin(), spent_.end(), Token(0));
+  settlements_.clear();
+  tick_ = 0;
+}
+
 std::size_t EdgeLedger::amortize_tick() {
   ++tick_;
   const Token step = config_.amortization_per_tick;

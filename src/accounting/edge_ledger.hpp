@@ -82,6 +82,12 @@ class EdgeLedger {
 
   void advance_tick() noexcept { ++tick_; }
 
+  /// Same contract as SwapNetwork::reset: back to the freshly-constructed
+  /// state. The edge->slot map and the slot arrays are reused untouched
+  /// (only the active slots are zeroed), so resetting a 10k-node ledger
+  /// between epochs costs O(active pairs), not O(arena).
+  void reset();
+
   [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
   [[nodiscard]] const SwapConfig& config() const noexcept { return config_; }
   [[nodiscard]] const std::vector<Token>& income() const noexcept { return income_; }

@@ -77,6 +77,10 @@ class Ledger {
     map_ ? map_->advance_tick() : edge_->advance_tick();
   }
 
+  /// Back to the freshly-constructed state; the edge backend keeps its
+  /// arena (see EdgeLedger::reset).
+  void reset() { map_ ? map_->reset() : edge_->reset(); }
+
   [[nodiscard]] std::uint64_t tick() const noexcept {
     return map_ ? map_->tick() : edge_->tick();
   }

@@ -1,5 +1,6 @@
 #include "accounting/swap.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fairswap::accounting {
@@ -74,6 +75,14 @@ Token SwapNetwork::balance(NodeIndex provider, NodeIndex peer) const {
   const auto it = balances_.find(pair_key(lo, hi));
   if (it == balances_.end()) return Token(0);
   return provider == lo ? it->second : -it->second;
+}
+
+void SwapNetwork::reset() {
+  balances_.clear();
+  std::fill(income_.begin(), income_.end(), Token(0));
+  std::fill(spent_.begin(), spent_.end(), Token(0));
+  settlements_.clear();
+  tick_ = 0;
 }
 
 std::size_t SwapNetwork::amortize_tick() {

@@ -1,0 +1,80 @@
+// Revision dynamics: how nodes change strategy between epochs.
+//
+// Two canonical evolutionary-game protocols, both with inertia (only a
+// `revision_rate` share of nodes revises per epoch) and optional
+// epsilon-noise (a revising node picks a uniformly random strategy with
+// probability `noise` — exploration / trembling hand):
+//
+//  * imitate — imitate-better-neighbor: sample one routing-table neighbor
+//    and copy its strategy iff it earned strictly more this epoch. Local,
+//    payoff-monotone, cannot reintroduce an extinct strategy (prevalence
+//    0 and 1 are absorbing when noise == 0).
+//  * best-response — sampled best response: estimate each strategy's mean
+//    utility from a small uniform population sample (self included) and
+//    adopt the better-earning one. Global information, fast convergence;
+//    also cannot reintroduce an unobserved strategy.
+//
+// Both are deterministic functions of (population, utilities, rng state):
+// the epoch driver's time series is bit-reproducible from the seed.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "agents/strategy.hpp"
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::agents {
+
+using overlay::NodeIndex;
+
+/// Per-node neighbor lists for the imitation protocol — each node's
+/// routing-table peers resolved to NodeIndex (foreign entries dropped).
+using NeighborLists = std::vector<std::vector<NodeIndex>>;
+
+/// Builds the neighbor lists once per topology (reused across epochs).
+[[nodiscard]] NeighborLists neighbor_lists(const overlay::Topology& topo);
+
+/// Knobs shared by every dynamics implementation.
+struct RevisionParams {
+  /// Share of nodes revising per epoch (inertia), in [0, 1].
+  double revision_rate{0.25};
+  /// Probability a revising node randomizes instead (epsilon), in [0, 1].
+  double noise{0.0};
+  /// Population sample size per best-response revision.
+  std::size_t sample_size{10};
+};
+
+/// Strategy-revision protocol. revise() maps this epoch's population and
+/// realized utilities to next epoch's population.
+class RevisionDynamics {
+ public:
+  virtual ~RevisionDynamics() = default;
+
+  /// Identifier used in configs and reports ("imitate", "best-response").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Writes next-epoch strategies into `next` (resized to match) and
+  /// returns how many nodes drew a revision opportunity this epoch (the
+  /// revision_rate coin flips that came up heads — whether or not the
+  /// node then switched). The epoch driver's fixed-point detector needs
+  /// it: zero switches among many opportunities is evidence of a fixed
+  /// point, zero switches because (almost) nobody revised is not.
+  /// Deterministic given `rng`'s state: nodes are visited in index order
+  /// with a fixed draw sequence, so equal seeds give equal trajectories.
+  virtual std::size_t revise(std::span<const Strategy> current,
+                             std::span<const double> utility,
+                             const NeighborLists& neighbors,
+                             const RevisionParams& params, Rng& rng,
+                             std::vector<Strategy>& next) const = 0;
+};
+
+/// Factory by name: "imitate", "best-response". Unknown names return
+/// nullptr.
+[[nodiscard]] std::unique_ptr<RevisionDynamics> make_dynamics(
+    const std::string& name);
+
+}  // namespace fairswap::agents

@@ -1,0 +1,124 @@
+#include "agents/series.hpp"
+
+#include <type_traits>
+
+#include "common/json.hpp"
+
+namespace fairswap::agents {
+
+namespace {
+
+constexpr const char* kSchema = "fairswap.agents.v1";
+
+/// Field-table over EpochPoint, shared by the writer and the parser so
+/// the schema cannot drift between them. Visits (name, getter-ref) pairs.
+template <typename Point, typename NumFn, typename IntFn>
+void for_each_point_field(Point& p, NumFn&& num, IntFn&& integer) {
+  integer("epoch", p.epoch);
+  num("prevalence", p.prevalence);
+  integer("free_riders", p.free_riders);
+  integer("switched", p.switched);
+  num("share_utility", p.share_utility);
+  num("free_ride_utility", p.free_ride_utility);
+  num("total_welfare", p.total_welfare);
+  num("total_income", p.total_income);
+  num("gini_f2", p.gini_f2);
+  num("gini_f1_income", p.gini_f1_income);
+  integer("delivered", p.delivered);
+  integer("refused", p.refused);
+  integer("chunk_requests", p.chunk_requests);
+}
+
+bool fail(std::string& error, const std::string& message) {
+  error = message;
+  return false;
+}
+
+}  // namespace
+
+void write_agents_json(std::ostream& out, const std::string& title,
+                       std::span<const EpochSeries> runs) {
+  JsonWriter json(out);
+  json.open();
+  json.field("schema", kSchema);
+  json.field("title", title);
+  json.open_list("runs");
+  for (const EpochSeries& run : runs) {
+    json.open();
+    json.field("label", run.label);
+    json.field("converged", run.converged);
+    json.field("converged_epoch", run.converged_epoch);
+    json.field("final_prevalence", run.final_prevalence);
+    json.open_list("epochs");
+    for (const EpochPoint& point : run.points) {
+      json.open();
+      for_each_point_field(
+          point, [&](const char* key, double v) { json.field(key, v); },
+          [&](const char* key, auto v) { json.field(key, v); });
+      json.close();
+    }
+    json.close_list();
+    json.close();
+  }
+  json.close_list();
+  json.close();
+}
+
+bool parse_agents_json(const std::string& text, std::string& title,
+                       std::vector<EpochSeries>& runs, std::string& error) {
+  runs.clear();
+  JsonValue doc;
+  if (!parse_json(text, doc, &error)) return false;
+  if (!doc.is_object()) return fail(error, "document is not an object");
+  if (doc.at("schema").string != kSchema) {
+    return fail(error, "schema is not " + std::string(kSchema));
+  }
+  if (!doc.has("title")) return fail(error, "missing title");
+  title = doc.at("title").string;
+  const JsonValue& run_list = doc.at("runs");
+  if (!run_list.is_array()) return fail(error, "runs is not a list");
+
+  for (const JsonValue& run_value : run_list.array) {
+    if (!run_value.is_object()) return fail(error, "run is not an object");
+    EpochSeries run;
+    if (!run_value.has("label") || !run_value.has("converged") ||
+        !run_value.has("converged_epoch") ||
+        !run_value.has("final_prevalence") || !run_value.has("epochs")) {
+      return fail(error, "run is missing a field");
+    }
+    run.label = run_value.at("label").string;
+    run.converged = run_value.at("converged").boolean;
+    run.converged_epoch =
+        static_cast<std::size_t>(run_value.at("converged_epoch").number);
+    run.final_prevalence = run_value.at("final_prevalence").number;
+    const JsonValue& epoch_list = run_value.at("epochs");
+    if (!epoch_list.is_array()) return fail(error, "epochs is not a list");
+    for (const JsonValue& point_value : epoch_list.array) {
+      if (!point_value.is_object()) {
+        return fail(error, "epoch point is not an object");
+      }
+      EpochPoint point;
+      bool ok = true;
+      const auto read = [&](const char* key, double& slot) {
+        if (!point_value.has(key)) {
+          ok = fail(error, std::string("epoch point is missing ") + key);
+          return;
+        }
+        slot = point_value.at(key).number;
+      };
+      for_each_point_field(
+          point, [&](const char* key, double& slot) { read(key, slot); },
+          [&](const char* key, auto& slot) {
+            double v = 0.0;
+            read(key, v);
+            slot = static_cast<std::remove_reference_t<decltype(slot)>>(v);
+          });
+      if (!ok) return false;
+      run.points.push_back(point);
+    }
+    runs.push_back(std::move(run));
+  }
+  return true;
+}
+
+}  // namespace fairswap::agents

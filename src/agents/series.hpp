@@ -1,0 +1,46 @@
+// fairswap.agents.v1 — the machine-readable epoch time series.
+//
+// One document carries one or more epoch-game runs (the `invasion`
+// scenario writes its paid and ablated regimes side by side):
+//
+//   {"schema": "fairswap.agents.v1",
+//    "title": "...",
+//    "runs": [
+//      {"label": "...", "converged": true, "converged_epoch": 12,
+//       "final_prevalence": 0.0,
+//       "epochs": [
+//         {"epoch": 0, "prevalence": 0.1, "free_riders": 100,
+//          "switched": 31, "share_utility": ..., "free_ride_utility": ...,
+//          "total_welfare": ..., "total_income": ..., "gini_f2": ...,
+//          "gini_f1_income": ..., "delivered": ..., "refused": ...,
+//          "chunk_requests": ...}, ...]}]}
+//
+// write/parse share common/json.hpp with every other artifact schema, and
+// parse is strict (unknown schema string, missing fields and malformed
+// JSON are errors) so tests can round-trip a series through the artifact
+// instead of string-matching it.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "agents/epoch.hpp"
+
+namespace fairswap::agents {
+
+/// Streams the document for `runs` to `out`.
+void write_agents_json(std::ostream& out, const std::string& title,
+                       std::span<const EpochSeries> runs);
+
+/// Parses a fairswap.agents.v1 document back into its runs. Returns false
+/// and sets `error` on malformed JSON, a wrong schema tag, or a missing
+/// field. Doubles survive with JsonWriter's 10-significant-digit
+/// precision; integers exactly.
+[[nodiscard]] bool parse_agents_json(const std::string& text,
+                                     std::string& title,
+                                     std::vector<EpochSeries>& runs,
+                                     std::string& error);
+
+}  // namespace fairswap::agents

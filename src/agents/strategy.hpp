@@ -1,0 +1,46 @@
+// Strategies of the bandwidth-sharing game.
+//
+// The paper's §V asks what happens to its fairness properties "when some
+// peers misbehave"; the related rational analyses (Shelby's incentive
+// compatibility proof, "You Share, I Share"'s sharing equilibria) make the
+// strategic question primary: do SWAP's bandwidth incentives *sustain*
+// sharing when every node may stop sharing the moment it pays off? The
+// agents subsystem models that as an evolutionary game: each node holds
+// one strategy per epoch and revises it between epochs in response to
+// realized utility (agents/dynamics.hpp, agents/epoch.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fairswap::agents {
+
+/// One node's per-epoch behavior. The representation is deliberately a
+/// dense byte so a strategy vector converts losslessly to the behavior
+/// flags core::Simulation::set_behavior takes; new strategies (cache
+/// tiers, partial sharing) extend the enum without changing the epoch
+/// machinery.
+enum class Strategy : std::uint8_t {
+  /// Follow the protocol: serve and relay chunks, pay for downloads.
+  kShare = 0,
+  /// Defect: refuse to serve or relay, withhold originator payments.
+  kFreeRide = 1,
+};
+
+[[nodiscard]] constexpr const char* strategy_name(Strategy s) noexcept {
+  return s == Strategy::kShare ? "share" : "free-ride";
+}
+
+/// Share of FREE_RIDE players in a population, in [0, 1].
+[[nodiscard]] inline double prevalence(
+    std::span<const Strategy> population) noexcept {
+  if (population.empty()) return 0.0;
+  std::size_t riders = 0;
+  for (const Strategy s : population) {
+    if (s == Strategy::kFreeRide) ++riders;
+  }
+  return static_cast<double>(riders) / static_cast<double>(population.size());
+}
+
+}  // namespace fairswap::agents

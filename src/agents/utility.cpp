@@ -1,0 +1,24 @@
+#include "agents/utility.hpp"
+
+namespace fairswap::agents {
+
+std::vector<double> epoch_utilities(const core::Simulation& sim,
+                                    double bandwidth_cost) {
+  const auto& counters = sim.counters();
+  const auto& income = sim.swap().income();
+  std::vector<double> utility(counters.size());
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    utility[i] =
+        static_cast<double>(income[i].base_units()) -
+        bandwidth_cost * static_cast<double>(counters[i].chunks_served);
+  }
+  return utility;
+}
+
+double total_welfare(std::span<const double> utilities) noexcept {
+  double total = 0.0;
+  for (const double u : utilities) total += u;
+  return total;
+}
+
+}  // namespace fairswap::agents

@@ -1,0 +1,30 @@
+// Per-epoch utility: what one epoch of play was worth to each node.
+//
+//   utility_i = SWAP income_i  -  bandwidth_cost * chunks_served_i
+//
+// Income is what the paper's F1/F2 measure (token base units received
+// through settlements and direct payments); chunks served is the
+// bandwidth actually expended (every transmission, whether paid first-hop
+// or unpaid relay). A sharer whose paid serves cover its relay burden
+// nets positive utility; a strategic free rider neither serves nor earns
+// and sits at exactly zero — the reference point revision dynamics
+// compare against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace fairswap::agents {
+
+/// Per-node utilities for the epoch the simulation just ran (counters
+/// and ledger are per-epoch because the epoch driver resets between
+/// epochs). `bandwidth_cost` is in token base units per chunk served.
+[[nodiscard]] std::vector<double> epoch_utilities(const core::Simulation& sim,
+                                                  double bandwidth_cost);
+
+/// Sum of utilities — the total welfare series of the epoch time series.
+[[nodiscard]] double total_welfare(std::span<const double> utilities) noexcept;
+
+}  // namespace fairswap::agents

@@ -1,9 +1,91 @@
 #include "core/experiment.hpp"
 
 #include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
 
+#include "core/report.hpp"
+#include "workload/trace.hpp"
+
 namespace fairswap::core {
+
+namespace {
+
+// The preload_trace_text snapshot cache (declared in the header).
+std::mutex& trace_cache_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, std::string>& trace_cache() {
+  static std::map<std::string, std::string> cache;
+  return cache;
+}
+
+/// Recording through this process keeps the snapshot coherent: a later
+/// replay of the same path sees what was just written, not a stale read.
+void store_trace_text(const std::string& path, const std::string& text) {
+  const std::lock_guard<std::mutex> lock(trace_cache_mutex());
+  trace_cache()[path] = text;
+}
+
+/// Drives `sim` for the experiment: trace replay, trace recording, or the
+/// plain generated run. Factored so run_experiment stays one read.
+void drive_simulation(Simulation& sim, const ExperimentConfig& config,
+                      const overlay::Topology& topo) {
+  if (!config.trace_in.empty()) {
+    const auto requests =
+        workload::trace_from_csv(preload_trace_text(config.trace_in),
+                                 {topo.node_count(), topo.space().bits()});
+    if (requests.empty()) {
+      throw std::runtime_error("trace file " + config.trace_in +
+                               " contains no requests");
+    }
+    for (const auto& request : requests) sim.apply(request);
+    return;
+  }
+  if (!config.trace_out.empty()) {
+    workload::TraceRecorder recorder;
+    for (std::size_t f = 0; f < config.files; ++f) {
+      const auto request = sim.generator_mut().next();
+      recorder.record(request);
+      sim.apply(request);
+    }
+    std::string csv = recorder.to_csv();
+    if (!write_text_file(config.trace_out, csv)) {
+      throw std::runtime_error("cannot write trace file " + config.trace_out);
+    }
+    store_trace_text(config.trace_out, std::move(csv));
+    return;
+  }
+  sim.run(config.files);
+}
+
+}  // namespace
+
+// See the header: one validated read per path per process. (Parsing
+// stays per replay: the range bounds depend on each cell's topology.)
+const std::string& preload_trace_text(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(trace_cache_mutex());
+  auto& cache = trace_cache();
+  const auto it = cache.find(path);
+  if (it != cache.end()) return it->second;
+  std::ifstream in(path);
+  std::ostringstream text;
+  if (in) text << in.rdbuf();
+  // ifstream happily "opens" directories and other unreadable things on
+  // Linux; the failure only surfaces on the read. An empty snapshot
+  // would silently replay zero requests — the quiet workload-thinning
+  // the strict parser exists to prevent.
+  if (!in || in.bad() || text.str().empty()) {
+    throw std::runtime_error("trace file " + path +
+                             " is missing, empty or unreadable");
+  }
+  return cache.emplace(path, text.str()).first->second;
+}
 
 overlay::Topology build_topology(const ExperimentConfig& config) {
   Rng root(config.seed);
@@ -27,7 +109,7 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
   Rng root(config.seed);
   Rng sim_rng = root.split(1);
   Simulation sim(topo, config.sim, sim_rng);
-  sim.run(config.files);
+  drive_simulation(sim, config, topo);
 
   return package_experiment(
       config, sim,

@@ -14,6 +14,36 @@
 
 namespace fairswap::core {
 
+/// Parameters of the strategic-agents epoch game (consumed by
+/// agents::EpochDriver; plain experiment runs ignore them). Epoch e runs
+/// `files_per_epoch` file transfers, assigns every node the utility
+/// `income - bandwidth_cost * chunks_served`, then lets a `revision_rate`
+/// share of nodes revise their SHARE / FREE_RIDE strategy under the named
+/// dynamics. Kept here (not in src/agents) so the harness binding table
+/// can bind epoch keys onto one ExperimentConfig like every other knob.
+struct AgentsConfig {
+  /// Epoch count; 0 = no epoch game (plain single-run experiment).
+  std::size_t epochs{0};
+  /// File transfers simulated per epoch.
+  std::size_t files_per_epoch{200};
+  /// Revision dynamics: "imitate" (copy a better-earning routing-table
+  /// neighbor) or "best-response" (adopt the strategy earning more on
+  /// average in a random population sample).
+  std::string dynamics{"imitate"};
+  /// Share of nodes that revise per epoch — the inertia knob, in [0, 1].
+  double revision_rate{0.25};
+  /// Probability a revising node picks a uniformly random strategy
+  /// instead (exploration noise, epsilon), in [0, 1].
+  double noise{0.0};
+  /// Cost of serving one chunk, in token base units — the per-epoch
+  /// utility is income - bandwidth_cost * chunks_served.
+  double bandwidth_cost{0.0};
+  /// Share of nodes starting as FREE_RIDE, in [0, 1].
+  double initial_free_riders{0.0};
+
+  friend bool operator==(const AgentsConfig&, const AgentsConfig&) = default;
+};
+
 /// A complete experiment description: one topology, one simulation
 /// configuration, a file count and a seed. Equal configs reproduce equal
 /// results bit-for-bit.
@@ -25,6 +55,15 @@ struct ExperimentConfig {
   std::uint64_t seed{kDefaultSeed};
   /// Lorenz curve resolution in the report (0 = per-node points).
   std::size_t lorenz_points{0};
+  /// Strategic-agents epoch game (src/agents); inert when epochs == 0.
+  AgentsConfig agents{};
+  /// When set, run_experiment records the generated workload to this CSV
+  /// path (TraceRecorder format) while running.
+  std::string trace_out;
+  /// When set, run_experiment replays the trace at this path instead of
+  /// generating a workload; `files` is ignored (the trace's request count
+  /// runs). Mutually exclusive with trace_out (harness::validate).
+  std::string trace_in;
 };
 
 /// Everything a bench needs to print a paper table/figure row.
@@ -72,5 +111,14 @@ struct ExperimentResult {
 
 /// Builds the topology an ExperimentConfig describes (seed-split stream 0).
 [[nodiscard]] overlay::Topology build_topology(const ExperimentConfig& config);
+
+/// Reads (and caches) the trace file `trace_in` replays. One read per
+/// path per process: every sweep cell replays the same snapshot, and a
+/// file swapped mid-sweep cannot hand cells different workloads. Throws
+/// std::runtime_error when the file is missing, empty or unreadable —
+/// drivers call this up front so a bad trace is reported before any
+/// output artifact is truncated, and the validated snapshot is exactly
+/// the text the runs replay.
+const std::string& preload_trace_text(const std::string& path);
 
 }  // namespace fairswap::core

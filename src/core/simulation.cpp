@@ -42,36 +42,72 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
   if (!pricer_) throw std::invalid_argument("unknown pricer: " + config_.pricer);
   if (!policy_) throw std::invalid_argument("unknown policy: " + config_.policy);
 
+  stores_.reserve(topo.node_count());
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    stores_.emplace_back(config_.cache_capacity);
+  }
+
+  seed_state(rng);
+
+  ctx_.topo = topo_;
+  ctx_.swap = &swap_;
+  ctx_.pricer = pricer_.get();
+  ctx_.free_rider = &free_riders_;
+  ctx_.refuses_service = &refuse_service_;
+}
+
+std::vector<std::uint8_t> Simulation::sample_free_riders(
+    std::size_t node_count, double share, Rng rng) {
+  std::vector<std::uint8_t> flags(node_count, 0);
+  if (share <= 0.0) return flags;
+  // Round to nearest so e.g. 10% of 999 nodes selects 100, not the 99 a
+  // plain truncation would give.
+  const auto want = std::min<std::size_t>(
+      node_count, static_cast<std::size_t>(std::llround(
+                      share * static_cast<double>(node_count))));
+  for (std::size_t idx : rng.sample_without_replacement(node_count, want)) {
+    flags[idx] = 1;
+  }
+  return flags;
+}
+
+void Simulation::seed_state(Rng rng) {
   // Split the seed stream: workload and free-rider selection must not
   // perturb each other when one is reconfigured.
   Rng workload_rng = rng.split(1);
   Rng free_rider_rng = rng.split(2);
 
   generator_ = std::make_unique<workload::DownloadGenerator>(
-      topo, config_.workload, workload_rng);
+      *topo_, config_.workload, workload_rng);
 
-  stores_.reserve(topo.node_count());
-  for (std::size_t i = 0; i < topo.node_count(); ++i) {
-    stores_.emplace_back(config_.cache_capacity);
+  free_riders_ = sample_free_riders(topo_->node_count(),
+                                    config_.free_rider_share, free_rider_rng);
+}
+
+void Simulation::reset(Rng rng) {
+  swap_.reset();
+  policy_->reset();
+  for (auto& counters : counters_) counters = NodeCounters{};
+  totals_ = SimulationTotals{};
+  for (auto& store : stores_) {
+    store = storage::ChunkStore(config_.cache_capacity);
   }
+  refuse_service_.clear();
+  seed_state(rng);
+}
 
-  if (config_.free_rider_share > 0.0) {
-    // Round to nearest so e.g. 10% of 999 nodes selects 100, not the 99 a
-    // plain truncation would give.
-    const auto want = std::min<std::size_t>(
-        topo.node_count(),
-        static_cast<std::size_t>(std::llround(
-            config_.free_rider_share * static_cast<double>(topo.node_count()))));
-    for (std::size_t idx :
-         free_rider_rng.sample_without_replacement(topo.node_count(), want)) {
-      free_riders_[idx] = 1;
-    }
+void Simulation::set_behavior(std::span<const std::uint8_t> free_ride,
+                              bool refuse_service) {
+  if (free_ride.size() != free_riders_.size()) {
+    throw std::invalid_argument(
+        "behavior vector size does not match the node count");
   }
-
-  ctx_.topo = topo_;
-  ctx_.swap = &swap_;
-  ctx_.pricer = pricer_.get();
-  ctx_.free_rider = &free_riders_;
+  free_riders_.assign(free_ride.begin(), free_ride.end());
+  if (refuse_service) {
+    refuse_service_.assign(free_ride.begin(), free_ride.end());
+  } else {
+    refuse_service_.clear();
+  }
 }
 
 void Simulation::note_request(NodeIndex originator, bool is_upload) {
@@ -144,10 +180,11 @@ bool Simulation::request_chunk(NodeIndex originator, Address chunk,
   }
   route.reached_storer = found;
 
-  return account(route, from_cache);
+  return account(route, from_cache, is_upload);
 }
 
-bool Simulation::account(const overlay::Route& route, bool from_cache) {
+bool Simulation::account(const overlay::Route& route, bool from_cache,
+                         bool is_upload) {
   if (!route.reached_storer) {
     if (route.truncated) {
       ++totals_.truncated_routes;
@@ -164,6 +201,30 @@ bool Simulation::account(const overlay::Route& route, bool from_cache) {
     ++totals_.delivered;
     ++counters_[route.originator()].local_hits;
     return true;
+  }
+
+  // Strategic service refusal (set_behavior with refuse_service): the
+  // chunk dies at the first refusing node along the data direction —
+  // storer -> originator for a download, originator -> storer for an
+  // upload. Everyone the chunk passed first already transmitted it —
+  // their bandwidth was spent even though the transfer fails — so those
+  // serves are counted; nobody is paid (payment happens on delivery
+  // only).
+  if (const std::size_t refusal = ctx_.first_refusing_server(route, is_upload);
+      refusal != 0) {
+    if (is_upload) {
+      for (std::size_t i = 1; i < refusal; ++i) {
+        ++counters_[route.path[i]].chunks_served;
+        ++totals_.total_transmissions;
+      }
+    } else {
+      for (std::size_t i = refusal + 1; i < route.path.size(); ++i) {
+        ++counters_[route.path[i]].chunks_served;
+        ++totals_.total_transmissions;
+      }
+    }
+    ++totals_.refused;
+    return false;
   }
 
   if (!policy_->admit(ctx_, route)) {
@@ -205,7 +266,7 @@ void Simulation::apply(const workload::DownloadRequest& request) {
                          config_.max_route_hops);
     for (const auto& route : routes_buf_) {
       note_request(request.originator, request.is_upload);
-      account(route, /*from_cache=*/false);
+      account(route, /*from_cache=*/false, request.is_upload);
     }
   } else {
     for (const Address chunk : request.chunks) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,7 @@ struct SimulationConfig {
   /// Pricer name: "xor-distance" (default, paper), "proximity", "flat".
   std::string pricer{"xor-distance"};
   /// Policy name: "zero-proximity" (default, paper), "per-hop-swap",
-  /// "tit-for-tat", "effort-based".
+  /// "tit-for-tat", "effort-based", "none" (incentive ablation).
   std::string policy{"zero-proximity"};
   /// Per-node LRU cache capacity in chunks; 0 = no caching (paper).
   std::size_t cache_capacity{0};
@@ -128,6 +129,36 @@ class Simulation {
   /// Applies an externally supplied request (trace replay).
   void apply(const workload::DownloadRequest& request);
 
+  /// Rewinds to the freshly-constructed state while reusing everything
+  /// expensive: counters, totals, ledger balances, caches and policy state
+  /// are zeroed in place, and the workload stream plus free-rider
+  /// selection are re-seeded from `rng` exactly as the constructor would.
+  /// The topology, the pinned compiled-router snapshot and the
+  /// edge-ledger arena are reused untouched (pointer-identical across
+  /// resets), which is what keeps per-epoch resets cheap at 10k nodes —
+  /// no rebuild, no reallocation. A post-reset run is bit-identical to a
+  /// Simulation freshly constructed with the same rng
+  /// (tests/core/reset_test.cpp).
+  void reset(Rng rng);
+
+  /// The free-rider sampling used at construction and reset (seed split
+  /// 2 of the simulation rng): round-to-nearest count, distinct indices.
+  /// Exposed so other samplers of "a `share` of the population" — the
+  /// agents epoch game's initial FREE_RIDE set — are this sampling by
+  /// construction, not by imitation.
+  [[nodiscard]] static std::vector<std::uint8_t> sample_free_riders(
+      std::size_t node_count, double share, Rng rng);
+
+  /// Injects a per-node behavior vector (one flag per node, 1 =
+  /// free-ride), replacing the free_rider_share random sample. With
+  /// `refuse_service` the flagged nodes additionally refuse to serve or
+  /// relay chunks (the strategic-agents model of src/agents — such
+  /// deliveries count as `refused`); without it they only withhold
+  /// originator payments, the paper's §V free-rider model. `free_ride`
+  /// must have exactly node_count entries.
+  void set_behavior(std::span<const std::uint8_t> free_ride,
+                    bool refuse_service = false);
+
   [[nodiscard]] const overlay::Topology& topology() const noexcept { return *topo_; }
   [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
   [[nodiscard]] const std::vector<NodeCounters>& counters() const noexcept {
@@ -141,6 +172,13 @@ class Simulation {
   }
   [[nodiscard]] const std::vector<std::uint8_t>& free_riders() const noexcept {
     return free_riders_;
+  }
+  /// The compiled-router snapshot this simulation is pinned to. Stable
+  /// across reset() — the pointer-identity the epoch-loop tests assert to
+  /// prove no per-epoch rebuild happens.
+  [[nodiscard]] const overlay::CompiledRouter* compiled_router()
+      const noexcept {
+    return router_.get();
   }
   [[nodiscard]] const workload::DownloadGenerator& generator() const noexcept {
     return *generator_;
@@ -173,8 +211,14 @@ class Simulation {
 
   /// Applies all post-routing accounting (failure counters, policy admit,
   /// transmission counters, relay caching, payment) for one routed chunk.
+  /// `is_upload` orients the strategic-refusal walk (the data direction).
   /// Returns true if the chunk was delivered.
-  bool account(const overlay::Route& route, bool from_cache);
+  bool account(const overlay::Route& route, bool from_cache, bool is_upload);
+
+  /// The construction-time seeding shared with reset(): re-creates the
+  /// workload stream (seed split 1) and re-samples the free-rider set
+  /// (seed split 2), so reset(rng) reproduces construction bit-for-bit.
+  void seed_state(Rng rng);
 
   const overlay::Topology* topo_;
   SimulationConfig config_;
@@ -190,6 +234,9 @@ class Simulation {
   std::vector<storage::ChunkStore> stores_;
   std::vector<NodeCounters> counters_;
   std::vector<std::uint8_t> free_riders_;
+  /// Per-node service refusal (set_behavior's strategic free riders).
+  /// Empty unless injected — the zero-cost default for classic runs.
+  std::vector<std::uint8_t> refuse_service_;
   SimulationTotals totals_;
   incentives::PolicyContext ctx_;
   /// Reused per-request path buffer; the hot path must not allocate.

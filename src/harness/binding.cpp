@@ -292,11 +292,11 @@ BindingTable::BindingTable() {
 
   add("policy",
       "payment policy: zero-proximity | per-hop-swap | tit-for-tat | "
-      "effort-based",
+      "effort-based | none",
       +[](Cfg& c, const std::string& v) {
         return set_name(c.sim.policy, "policy", v,
                         {"zero-proximity", "per-hop-swap", "tit-for-tat",
-                         "effort-based"});
+                         "effort-based", "none"});
       },
       +[](const Cfg& c) { return c.sim.policy; });
 
@@ -375,6 +375,90 @@ BindingTable::BindingTable() {
         return {};
       },
       +[](const Cfg& c) { return std::to_string(c.sim.max_route_hops); });
+
+  // --- strategic-agents epoch game (src/agents) --------------------------
+
+  add("epochs", "strategy-revision epochs (0 = no epoch game)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("epochs", v, "an epoch count");
+        c.agents.epochs = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.agents.epochs); });
+
+  add("files_per_epoch", "file transfers simulated per epoch",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("files_per_epoch", v, "a file count");
+        if (*p < 1) return "files_per_epoch: must be at least 1";
+        c.agents.files_per_epoch = static_cast<std::size_t>(*p);
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.agents.files_per_epoch); });
+
+  add("dynamics", "strategy-revision dynamics: imitate | best-response",
+      +[](Cfg& c, const std::string& v) {
+        return set_name(c.agents.dynamics, "dynamics", v,
+                        {"imitate", "best-response"});
+      },
+      +[](const Cfg& c) { return c.agents.dynamics; });
+
+  add("revision_rate", "share of nodes revising per epoch, [0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.agents.revision_rate, "revision_rate", v,
+                         /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) { return format_double(c.agents.revision_rate); });
+
+  add("noise", "epsilon-noise per revision (random strategy), [0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.agents.noise, "noise", v, /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) { return format_double(c.agents.noise); });
+
+  add("bandwidth_cost", "cost per chunk served, token base units (>= 0)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("bandwidth_cost", v, "a number");
+        if (*p < 0.0) return "bandwidth_cost: must be non-negative";
+        c.agents.bandwidth_cost = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return format_double(c.agents.bandwidth_cost); });
+
+  add("initial_free_riders", "share of nodes starting as FREE_RIDE, [0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.agents.initial_free_riders, "initial_free_riders",
+                         v, /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) {
+        return format_double(c.agents.initial_free_riders);
+      });
+
+  // --- workload traces (src/workload/trace) ------------------------------
+
+  add("trace_out", "record the generated workload to this CSV path",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        c.trace_out = v;
+        return {};
+      },
+      +[](const Cfg& c) { return c.trace_out; });
+
+  add("trace_in", "replay the workload trace at this CSV path",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        c.trace_in = v;
+        return {};
+      },
+      +[](const Cfg& c) { return c.trace_in; });
+
+  // Mark the workload-generation keys (see Binding::workload_generation).
+  for (const char* key : {"files", "originators", "min_chunks", "max_chunks",
+                          "upload_share", "zipf", "catalog", "catalog_zipf"}) {
+    for (Binding& binding : bindings_) {
+      if (binding.key == key) binding.workload_generation = true;
+    }
+  }
 }
 
 const BindingTable& BindingTable::instance() {
@@ -435,6 +519,10 @@ std::string validate(const core::ExperimentConfig& cfg) {
   }
   if (cfg.sim.swap.payment_threshold > cfg.sim.swap.disconnect_threshold) {
     return "payment_threshold: must not exceed disconnect_threshold";
+  }
+  if (!cfg.trace_in.empty() && !cfg.trace_out.empty()) {
+    return "trace_in: cannot record and replay in the same run (drop "
+           "trace_out)";
   }
   return {};
 }

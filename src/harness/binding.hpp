@@ -26,6 +26,12 @@ struct Binding {
   std::string description;
   std::string (*set)(core::ExperimentConfig&, const std::string&);
   std::string (*get)(const core::ExperimentConfig&);
+  /// True for keys that only shape workload *generation* (files,
+  /// originators, chunk ranges, ...). A replayed trace ignores them, so
+  /// the sweep expansion rejects such keys as axes next to trace_in —
+  /// deriving that guard from the table keeps future generator knobs
+  /// covered by construction.
+  bool workload_generation{false};
 };
 
 /// The registry of every bindable experiment parameter.

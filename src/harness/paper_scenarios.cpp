@@ -307,6 +307,7 @@ void register_builtin_scenarios() {
     registry.add({"variance",
                   "multi-seed error bars for the paper grid (seeds=N)",
                   2'000, &scenario_variance, {"seeds"}});
+    register_agent_scenarios();
     return true;
   }();
   (void)registered;

@@ -82,6 +82,15 @@ bool expand(const ExperimentPlan& plan, std::vector<PlannedRun>& out,
               "runs (seed=K sets the base seed)";
       return false;
     }
+    if (axis.key == "trace_in" || axis.key == "trace_out") {
+      // Per-axis trace paths would dodge the driver's upfront trace
+      // validation (which reads plan.base) and, for trace_out, the
+      // single-writer guarantee below; record/replay one trace per
+      // invocation instead.
+      error = "'" + axis.key + "' cannot be a sweep axis - run one " +
+              "record/replay per invocation";
+      return false;
+    }
     if (axis.values.empty()) {
       error = "sweep axis '" + axis.key + "' has no values";
       return false;
@@ -149,6 +158,69 @@ bool expand(const ExperimentPlan& plan, std::vector<PlannedRun>& out,
     }
 
     out.push_back(std::move(run));
+  }
+
+  // The plan path runs flat experiments: it never consults
+  // ExperimentConfig::agents, so letting an epoch key through would
+  // produce identical cells that *look* like a parameter sweep — the
+  // silent-no-op class expand() already rejects for a 'seed' axis.
+  // Epoch games run through the equilibrium/invasion scenarios; an
+  // agents-aware sweep sink is a ROADMAP item.
+  for (const PlannedRun& run : out) {
+    if (!(run.config.agents == core::AgentsConfig{})) {
+      error =
+          "epochs/files_per_epoch/dynamics/revision_rate/noise/"
+          "bandwidth_cost/initial_free_riders: sweeps run flat experiments "
+          "and ignore the epoch game; use the equilibrium/invasion "
+          "scenarios (agents-aware sweeps are a ROADMAP item)";
+      return false;
+    }
+  }
+
+  // One trace file cannot record several workloads: with more than one
+  // (run x seed) cell writing the same path, every cell would open and
+  // truncate it concurrently and the survivor would hold an arbitrary
+  // cell's requests. (Replaying one trace into many cells via trace_in
+  // is fine — that is the paper's same-workload comparison.)
+  const std::size_t seeds = std::max<std::size_t>(1, plan.seeds);
+  std::vector<std::string> trace_outs;
+  for (const PlannedRun& run : out) {
+    if (run.config.trace_out.empty()) continue;
+    if (seeds > 1) {
+      error = "trace_out: recording needs seeds=1 (every seed would "
+              "overwrite " +
+              run.config.trace_out + ")";
+      return false;
+    }
+    for (const std::string& seen : trace_outs) {
+      if (seen == run.config.trace_out) {
+        error = "trace_out: multiple runs would overwrite " +
+                run.config.trace_out + " (record one cell at a time)";
+        return false;
+      }
+    }
+    trace_outs.push_back(run.config.trace_out);
+  }
+
+  // A replayed trace *is* the workload, so axes that only shape workload
+  // generation cannot distinguish cells: the sweep would print N
+  // identical rows labeled as a parameter sweep (the same silent-no-op
+  // class as a 'seed' axis). Topology and policy axes remain fine — one
+  // workload against many configurations is the paper's comparison.
+  bool any_replay = false;
+  for (const PlannedRun& run : out) {
+    any_replay = any_replay || !run.config.trace_in.empty();
+  }
+  if (any_replay) {
+    for (const SweepAxis& axis : plan.axes) {
+      const Binding* binding = table.find(axis.key);
+      if (binding && binding->workload_generation) {
+        error = axis.key +
+                ": a replayed trace fixes the workload, so this axis "
+                "cannot vary the cells (drop it or drop trace_in)";
+        return false;
+      }
+    }
   }
   return true;
 }

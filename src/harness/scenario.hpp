@@ -65,10 +65,15 @@ class ScenarioRegistry {
 };
 
 /// Registers the migrated paper scenarios (fig4, table1, free_riders,
-/// variance). Idempotent; called by the driver and the alias binaries
-/// (explicit registration instead of static initializers, which a static
-/// library would drop).
+/// variance) and the strategic-agents scenarios (equilibrium, invasion).
+/// Idempotent; called by the driver and the alias binaries (explicit
+/// registration instead of static initializers, which a static library
+/// would drop).
 void register_builtin_scenarios();
+
+/// The agents half of register_builtin_scenarios (harness/
+/// agent_scenarios.cpp).
+void register_agent_scenarios();
 
 /// Parses argv into a ScenarioContext (surfacing Config::last_error() as
 /// a hard error, not a silent default) and runs the named scenario.

@@ -1,0 +1,8 @@
+#include "incentives/no_payment.hpp"
+
+namespace fairswap::incentives {
+
+void NoPaymentPolicy::on_delivery(PolicyContext& /*ctx*/,
+                                  const Route& /*route*/) {}
+
+}  // namespace fairswap::incentives

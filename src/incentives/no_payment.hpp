@@ -1,0 +1,22 @@
+// The incentive-ablated baseline: chunks are routed and served, but no
+// money moves and no debt is recorded — bandwidth is a pure cost to
+// whoever provides it. This is the control arm of the strategic-agents
+// experiments (src/agents): with payments ablated, sharing earns nothing,
+// so free-riding is the dominant strategy and invades an all-sharer
+// population to fixation — exactly the collapse SWAP's incentives are
+// there to prevent (see the `invasion` scenario).
+#pragma once
+
+#include "incentives/policy.hpp"
+
+namespace fairswap::incentives {
+
+class NoPaymentPolicy final : public PaymentPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "none"; }
+
+  /// No payments, no debt: every income stays zero.
+  void on_delivery(PolicyContext& ctx, const Route& route) override;
+};
+
+}  // namespace fairswap::incentives

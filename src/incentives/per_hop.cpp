@@ -3,6 +3,7 @@
 namespace fairswap::incentives {
 
 bool PerHopSwapPolicy::admit(PolicyContext& ctx, const Route& route) {
+  if (!PaymentPolicy::admit(ctx, route)) return false;
   // A pair refuses service when the consumer's debt is already at the
   // disconnect threshold and the consumer cannot settle (free rider).
   for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "incentives/policy.hpp"
 
 #include "incentives/effort_based.hpp"
+#include "incentives/no_payment.hpp"
 #include "incentives/per_hop.hpp"
 #include "incentives/tit_for_tat.hpp"
 #include "incentives/zero_proximity.hpp"
@@ -13,10 +14,13 @@ bool PaymentPolicy::admit(PolicyContext& /*ctx*/, const Route& /*route*/) {
 
 void PaymentPolicy::on_step_end(PolicyContext& /*ctx*/) {}
 
+void PaymentPolicy::reset() {}
+
 std::unique_ptr<PaymentPolicy> make_policy(const std::string& name) {
   if (name == "zero-proximity") return std::make_unique<ZeroProximityPolicy>();
   if (name == "per-hop-swap") return std::make_unique<PerHopSwapPolicy>();
   if (name == "tit-for-tat") return std::make_unique<TitForTatPolicy>();
+  if (name == "none") return std::make_unique<NoPaymentPolicy>();
   if (name == "effort-based") {
     return std::make_unique<EffortBasedPolicy>(std::vector<double>{},
                                                Token::whole(1));

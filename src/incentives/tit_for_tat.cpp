@@ -10,7 +10,8 @@ std::int64_t TitForTatPolicy::deficit(NodeIndex a, NodeIndex b) const {
   return a == lo ? it->second : -it->second;
 }
 
-bool TitForTatPolicy::admit(PolicyContext& /*ctx*/, const Route& route) {
+bool TitForTatPolicy::admit(PolicyContext& ctx, const Route& route) {
+  if (!PaymentPolicy::admit(ctx, route)) return false;
   for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
     const NodeIndex consumer = route.path[i];
     const NodeIndex provider = route.path[i + 1];
@@ -20,6 +21,11 @@ bool TitForTatPolicy::admit(PolicyContext& /*ctx*/, const Route& route) {
     }
   }
   return true;
+}
+
+void TitForTatPolicy::reset() {
+  balance_.clear();
+  choked_ = 0;
 }
 
 void TitForTatPolicy::on_delivery(PolicyContext& /*ctx*/, const Route& route) {

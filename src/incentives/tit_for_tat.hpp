@@ -36,6 +36,9 @@ class TitForTatPolicy final : public PaymentPolicy {
 
   void on_delivery(PolicyContext& ctx, const Route& route) override;
 
+  /// Forgets all service balances and the choke counter (epoch rewind).
+  void reset() override;
+
   /// Net chunks `a` owes `b` (positive = a consumed more from b than it
   /// returned).
   [[nodiscard]] std::int64_t deficit(NodeIndex a, NodeIndex b) const;

@@ -3,7 +3,9 @@
 // The paper runs the same workload against multiple configurations
 // ("allows us to collect data from runs on multiple machines into a single
 // simulation"); recording a trace once and replaying it everywhere removes
-// generator-order effects from cross-configuration comparisons.
+// generator-order effects from cross-configuration comparisons. The
+// harness binds `trace_out=` / `trace_in=` to this module so fairswap_run
+// can record and replay workloads declaratively.
 #pragma once
 
 #include <string>
@@ -14,6 +16,8 @@
 namespace fairswap::workload {
 
 /// Serializes download requests as CSV rows "originator,chunk,chunk,...".
+/// Upload requests carry a 'u' prefix on the originator cell
+/// ("u42,7,19,..."), so the transfer direction survives the round trip.
 class TraceRecorder {
  public:
   void record(const DownloadRequest& req);
@@ -23,15 +27,31 @@ class TraceRecorder {
     return requests_;
   }
 
-  /// One line per request: "originator,chunk0,chunk1,...".
+  /// One line per request: "originator,chunk0,chunk1,..." ('u' prefix on
+  /// uploads).
   [[nodiscard]] std::string to_csv() const;
 
  private:
   std::vector<DownloadRequest> requests_;
 };
 
-/// Parses a trace produced by TraceRecorder::to_csv. Malformed lines are
-/// skipped.
-[[nodiscard]] std::vector<DownloadRequest> trace_from_csv(const std::string& csv);
+/// Optional semantic bounds for trace_from_csv. Zero fields are not
+/// checked; set them (from the topology the trace will replay against) to
+/// reject out-of-range originators and chunk addresses at parse time,
+/// with the offending line number, instead of corrupting counters or
+/// walking off arrays mid-replay.
+struct TraceBounds {
+  std::size_t node_count{0};
+  int address_bits{0};
+};
+
+/// Parses a trace produced by TraceRecorder::to_csv. Strict: any
+/// malformed line — non-numeric cell, empty cell or line, a request with
+/// no chunks, or (with `bounds`) an out-of-range originator or chunk —
+/// throws std::invalid_argument naming the 1-based line number and the
+/// reason. Nothing is skipped silently (the harness's strict-args
+/// philosophy: a typo must stop the run, not quietly thin the workload).
+[[nodiscard]] std::vector<DownloadRequest> trace_from_csv(
+    const std::string& csv, TraceBounds bounds = {});
 
 }  // namespace fairswap::workload

@@ -1,0 +1,129 @@
+// fairswap.agents.v1 round trip: a time series written through
+// write_agents_json parses back field-for-field (integers exactly,
+// doubles at JsonWriter's 10-significant-digit precision).
+#include "agents/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace fairswap::agents {
+namespace {
+
+EpochSeries sample_series(const std::string& label, std::size_t epochs,
+                          std::uint64_t salt) {
+  EpochSeries series;
+  series.label = label;
+  series.converged = salt % 2 == 0;
+  series.converged_epoch = epochs - 1;
+  series.final_prevalence = 0.125 * static_cast<double>(salt % 8);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    EpochPoint p;
+    p.epoch = e;
+    p.prevalence = 0.1 + 0.01 * static_cast<double>(e);
+    p.free_riders = 100 + e;
+    p.switched = 7 * e;
+    p.share_utility = 12345.678 - static_cast<double>(e * salt);
+    p.free_ride_utility = -0.5 * static_cast<double>(e);
+    p.total_welfare = 9.87654321e8 + static_cast<double>(e);
+    p.total_income = 1.234e9;
+    p.gini_f2 = 0.4321;
+    p.gini_f1_income = 0.8765;
+    p.delivered = 1'000'000 + e;
+    p.refused = 17 + e;
+    p.chunk_requests = 1'100'000 + e;
+    series.points.push_back(p);
+  }
+  return series;
+}
+
+void expect_close(double a, double b, const char* what) {
+  EXPECT_NEAR(a, b, std::abs(a) * 1e-9 + 1e-12) << what;
+}
+
+TEST(AgentsSeries, RoundTripsThroughTheV1Schema) {
+  std::vector<EpochSeries> runs{sample_series("paid", 5, 2),
+                                sample_series("no-payment", 3, 3)};
+  std::ostringstream out;
+  write_agents_json(out, "invasion", runs);
+
+  std::string title;
+  std::vector<EpochSeries> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_agents_json(out.str(), title, parsed, error)) << error;
+  EXPECT_EQ(title, "invasion");
+  ASSERT_EQ(parsed.size(), runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    EXPECT_EQ(parsed[r].label, runs[r].label);
+    EXPECT_EQ(parsed[r].converged, runs[r].converged);
+    EXPECT_EQ(parsed[r].converged_epoch, runs[r].converged_epoch);
+    expect_close(parsed[r].final_prevalence, runs[r].final_prevalence,
+                 "final_prevalence");
+    ASSERT_EQ(parsed[r].points.size(), runs[r].points.size());
+    for (std::size_t e = 0; e < runs[r].points.size(); ++e) {
+      const auto& want = runs[r].points[e];
+      const auto& got = parsed[r].points[e];
+      EXPECT_EQ(got.epoch, want.epoch);
+      EXPECT_EQ(got.free_riders, want.free_riders);
+      EXPECT_EQ(got.switched, want.switched);
+      EXPECT_EQ(got.delivered, want.delivered);
+      EXPECT_EQ(got.refused, want.refused);
+      EXPECT_EQ(got.chunk_requests, want.chunk_requests);
+      expect_close(got.prevalence, want.prevalence, "prevalence");
+      expect_close(got.share_utility, want.share_utility, "share_utility");
+      expect_close(got.free_ride_utility, want.free_ride_utility,
+                   "free_ride_utility");
+      expect_close(got.total_welfare, want.total_welfare, "total_welfare");
+      expect_close(got.total_income, want.total_income, "total_income");
+      expect_close(got.gini_f2, want.gini_f2, "gini_f2");
+      expect_close(got.gini_f1_income, want.gini_f1_income, "gini_f1_income");
+    }
+  }
+}
+
+TEST(AgentsSeries, ASecondWriteOfTheParseIsByteIdentical) {
+  // The canonical stability check: write -> parse -> write reproduces the
+  // document byte-for-byte (%.10g is a fixed point after one round trip).
+  const std::vector<EpochSeries> runs{sample_series("equilibrium", 4, 5)};
+  std::ostringstream first;
+  write_agents_json(first, "equilibrium", runs);
+  std::string title;
+  std::vector<EpochSeries> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_agents_json(first.str(), title, parsed, error)) << error;
+  std::ostringstream second;
+  write_agents_json(second, title, parsed);
+  EXPECT_EQ(second.str(), first.str());
+}
+
+TEST(AgentsSeries, ParserRejectsWrongSchemaAndMissingFields) {
+  std::string title;
+  std::vector<EpochSeries> parsed;
+  std::string error;
+  EXPECT_FALSE(parse_agents_json("{", title, parsed, error));
+  EXPECT_FALSE(parse_agents_json("[]", title, parsed, error));
+  EXPECT_FALSE(parse_agents_json(
+      R"({"schema":"fairswap.run.v1","title":"x","runs":[]})", title, parsed,
+      error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  EXPECT_FALSE(parse_agents_json(
+      R"({"schema":"fairswap.agents.v1","title":"x","runs":[{"label":"a"}]})",
+      title, parsed, error));
+  EXPECT_NE(error.find("missing"), std::string::npos);
+  EXPECT_FALSE(parse_agents_json(
+      R"({"schema":"fairswap.agents.v1","title":"x",)"
+      R"("runs":[{"label":"a","converged":false,"converged_epoch":0,)"
+      R"("final_prevalence":0,"epochs":[{"epoch":0}]}]})",
+      title, parsed, error));
+  EXPECT_NE(error.find("epoch point is missing"), std::string::npos);
+  EXPECT_TRUE(parse_agents_json(
+      R"({"schema":"fairswap.agents.v1","title":"x","runs":[]})", title,
+      parsed, error))
+      << error;
+  EXPECT_TRUE(parsed.empty());
+}
+
+}  // namespace
+}  // namespace fairswap::agents

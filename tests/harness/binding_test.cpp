@@ -94,6 +94,33 @@ TEST(Binding, EveryKeySetsTheFieldItNames) {
 
   EXPECT_EQ(table().apply(cfg, "max_hops", "12"), "");
   EXPECT_EQ(cfg.sim.max_route_hops, 12u);
+
+  EXPECT_EQ(table().apply(cfg, "epochs", "40"), "");
+  EXPECT_EQ(cfg.agents.epochs, 40u);
+
+  EXPECT_EQ(table().apply(cfg, "files_per_epoch", "250"), "");
+  EXPECT_EQ(cfg.agents.files_per_epoch, 250u);
+
+  EXPECT_EQ(table().apply(cfg, "dynamics", "best-response"), "");
+  EXPECT_EQ(cfg.agents.dynamics, "best-response");
+
+  EXPECT_EQ(table().apply(cfg, "revision_rate", "0.4"), "");
+  EXPECT_DOUBLE_EQ(cfg.agents.revision_rate, 0.4);
+
+  EXPECT_EQ(table().apply(cfg, "noise", "0.05"), "");
+  EXPECT_DOUBLE_EQ(cfg.agents.noise, 0.05);
+
+  EXPECT_EQ(table().apply(cfg, "bandwidth_cost", "150"), "");
+  EXPECT_DOUBLE_EQ(cfg.agents.bandwidth_cost, 150.0);
+
+  EXPECT_EQ(table().apply(cfg, "initial_free_riders", "0.1"), "");
+  EXPECT_DOUBLE_EQ(cfg.agents.initial_free_riders, 0.1);
+
+  EXPECT_EQ(table().apply(cfg, "trace_out", "/tmp/trace.csv"), "");
+  EXPECT_EQ(cfg.trace_out, "/tmp/trace.csv");
+
+  EXPECT_EQ(table().apply(cfg, "trace_in", "/tmp/replay.csv"), "");
+  EXPECT_EQ(cfg.trace_in, "/tmp/replay.csv");
 }
 
 TEST(Binding, TestCoversEveryRegisteredKey) {
@@ -128,6 +155,14 @@ TEST(Binding, TestCoversEveryRegisteredKey) {
   mutated.sim.compiled_routing = false;
   mutated.sim.compiled_ledger = false;
   mutated.sim.max_route_hops = 77;
+  mutated.agents.epochs = 12;
+  mutated.agents.files_per_epoch = 333;
+  mutated.agents.dynamics = "best-response";
+  mutated.agents.revision_rate = 0.375;
+  mutated.agents.noise = 0.0625;
+  mutated.agents.bandwidth_cost = 123.5;
+  mutated.agents.initial_free_riders = 0.22;
+  mutated.trace_out = "record.csv";
 
   ExperimentConfig rebuilt;
   for (const auto& [key, value] : table().snapshot(mutated)) {
@@ -169,6 +204,9 @@ TEST(Binding, TestCoversEveryRegisteredKey) {
   EXPECT_EQ(rebuilt.sim.compiled_routing, mutated.sim.compiled_routing);
   EXPECT_EQ(rebuilt.sim.compiled_ledger, mutated.sim.compiled_ledger);
   EXPECT_EQ(rebuilt.sim.max_route_hops, mutated.sim.max_route_hops);
+  EXPECT_EQ(rebuilt.agents, mutated.agents);
+  EXPECT_EQ(rebuilt.trace_out, mutated.trace_out);
+  EXPECT_EQ(rebuilt.trace_in, mutated.trace_in);
 }
 
 TEST(Binding, UnknownKeyIsAnError) {
@@ -227,6 +265,40 @@ TEST(Binding, ValidateCatchesCrossFieldConstraints) {
   cfg.sim.swap.payment_threshold = Token(10);
   cfg.sim.swap.disconnect_threshold = Token(5);
   EXPECT_NE(validate(cfg), "");
+  cfg.sim.swap.disconnect_threshold = Token(10);
+  EXPECT_EQ(validate(cfg), "");
+
+  cfg.trace_in = "a.csv";
+  cfg.trace_out = "b.csv";
+  EXPECT_NE(validate(cfg), "");
+  cfg.trace_out.clear();
+  EXPECT_EQ(validate(cfg), "");
+}
+
+TEST(Binding, WorkloadGenerationCategoryCoversTheGeneratorKnobs) {
+  // The replay sweep guard derives from this flag; a generator key left
+  // unmarked would silently produce identical replayed cells.
+  for (const char* key : {"files", "originators", "min_chunks", "max_chunks",
+                          "upload_share", "zipf", "catalog", "catalog_zipf"}) {
+    ASSERT_NE(table().find(key), nullptr) << key;
+    EXPECT_TRUE(table().find(key)->workload_generation) << key;
+  }
+  for (const char* key : {"nodes", "k", "policy", "seed", "epochs",
+                          "trace_in", "cache"}) {
+    ASSERT_NE(table().find(key), nullptr) << key;
+    EXPECT_FALSE(table().find(key)->workload_generation) << key;
+  }
+}
+
+TEST(Binding, AgentKeysEnforceTheirRanges) {
+  ExperimentConfig cfg;
+  EXPECT_NE(table().apply(cfg, "dynamics", "replicator"), "");
+  EXPECT_NE(table().apply(cfg, "revision_rate", "1.5"), "");
+  EXPECT_NE(table().apply(cfg, "noise", "-0.1"), "");
+  EXPECT_NE(table().apply(cfg, "bandwidth_cost", "-5"), "");
+  EXPECT_NE(table().apply(cfg, "initial_free_riders", "2"), "");
+  EXPECT_NE(table().apply(cfg, "files_per_epoch", "0"), "");
+  EXPECT_EQ(cfg.agents, core::AgentsConfig{});  // nothing mutated
 }
 
 TEST(Binding, SnapshotRendersCanonicalValues) {

@@ -114,6 +114,60 @@ TEST(Plan, SeedAxisIsRejected) {
   EXPECT_NE(error.find("seeds=N"), std::string::npos) << error;
 }
 
+TEST(Plan, AgentKeysAreRejectedOnTheFlatSweepPath) {
+  // run_plan never consults ExperimentConfig::agents, so an epoch key in
+  // a sweep would be the silent-no-op class expand() exists to prevent
+  // (cells that only look like a parameter sweep).
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.base.agents.epochs = 5;
+  std::vector<PlannedRun> runs;
+  std::string error;
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("equilibrium/invasion"), std::string::npos) << error;
+
+  plan.base.agents = {};
+  plan.base.agents.bandwidth_cost = 100.0;  // any non-default agents knob
+  EXPECT_FALSE(expand(plan, runs, error));
+
+  plan.base.agents = {};
+  EXPECT_TRUE(expand(plan, runs, error)) << error;
+}
+
+TEST(Plan, TraceRecordingRequiresASingleCell) {
+  // Several (run x seed) cells writing one trace path would truncate it
+  // concurrently; expansion rejects the plan before any file is touched.
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.base.trace_out = "trace.csv";
+  std::vector<PlannedRun> runs;
+  std::string error;
+  EXPECT_TRUE(expand(plan, runs, error)) << error;  // 1 run x 1 seed: fine
+
+  plan.seeds = 3;
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("seeds=1"), std::string::npos) << error;
+
+  plan.seeds = 1;
+  plan.axes = {{"k", {"4", "8"}}};
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("one cell"), std::string::npos) << error;
+
+  // Replaying one trace into many *topology* cells stays allowed (the
+  // paper's same-workload comparison)...
+  plan.base.trace_out.clear();
+  plan.base.trace_in = "trace.csv";
+  EXPECT_TRUE(expand(plan, runs, error)) << error;
+
+  // ...but a workload-generation axis cannot vary replayed cells: the
+  // trace is the workload, and the rows would be identical.
+  plan.axes = {{"files", {"100", "200"}}};
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("replayed trace"), std::string::npos) << error;
+  plan.axes = {{"originators", {"0.2", "1"}}};
+  EXPECT_FALSE(expand(plan, runs, error));
+}
+
 TEST(Plan, RunPlanIsBitIdenticalForAnyThreadCount) {
   ExperimentPlan plan;
   plan.base = tiny_base();

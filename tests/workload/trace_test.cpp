@@ -1,0 +1,165 @@
+// Trace record -> CSV -> replay satellite coverage: the replayed workload
+// reproduces the generated run's counters bit-for-bit (including upload
+// direction), and every malformed-line class is a hard error naming the
+// line, per the harness's strict-args philosophy.
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::workload {
+namespace {
+
+overlay::Topology make_topology(std::size_t nodes = 60) {
+  overlay::TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.address_bits = 10;
+  Rng rng(7);
+  return overlay::Topology::build(cfg, rng);
+}
+
+std::string error_of(const std::string& csv, TraceBounds bounds = {}) {
+  try {
+    (void)trace_from_csv(csv, bounds);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(TraceStrict, UploadFlagSurvivesTheRoundTrip) {
+  const auto topo = make_topology();
+  WorkloadConfig wl;
+  wl.min_chunks_per_file = 2;
+  wl.max_chunks_per_file = 4;
+  wl.upload_share = 0.5;
+  DownloadGenerator gen(topo, wl, Rng(11));
+  TraceRecorder rec;
+  bool saw_upload = false;
+  bool saw_download = false;
+  for (int i = 0; i < 32; ++i) {
+    const auto req = gen.next();
+    saw_upload = saw_upload || req.is_upload;
+    saw_download = saw_download || !req.is_upload;
+    rec.record(req);
+  }
+  ASSERT_TRUE(saw_upload && saw_download);  // both directions exercised
+
+  const auto replayed = trace_from_csv(rec.to_csv());
+  ASSERT_EQ(replayed.size(), rec.requests().size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].is_upload, rec.requests()[i].is_upload) << i;
+    EXPECT_EQ(replayed[i].originator, rec.requests()[i].originator) << i;
+    EXPECT_EQ(replayed[i].chunks, rec.requests()[i].chunks) << i;
+  }
+}
+
+TEST(TraceStrict, ReplayedCountersAreBitIdenticalToTheGeneratedRun) {
+  const auto topo = make_topology();
+  core::SimulationConfig sim_cfg;
+  sim_cfg.workload.min_chunks_per_file = 5;
+  sim_cfg.workload.max_chunks_per_file = 20;
+  sim_cfg.workload.upload_share = 0.25;
+
+  // Generated run, recording as it goes (exactly what trace_out= does).
+  core::Simulation generated(topo, sim_cfg, Rng(42));
+  TraceRecorder rec;
+  for (int i = 0; i < 40; ++i) {
+    const auto req = generated.generator_mut().next();
+    rec.record(req);
+    generated.apply(req);
+  }
+
+  // Replay the parsed CSV into a fresh simulation (what trace_in= does).
+  const auto requests = trace_from_csv(
+      rec.to_csv(), {topo.node_count(), topo.space().bits()});
+  core::Simulation replayed(topo, sim_cfg, Rng(42));
+  for (const auto& req : requests) replayed.apply(req);
+
+  EXPECT_EQ(replayed.totals(), generated.totals());
+  EXPECT_EQ(replayed.counters(), generated.counters());
+  EXPECT_EQ(replayed.swap().income(), generated.swap().income());
+  EXPECT_EQ(replayed.swap().settlements(), generated.swap().settlements());
+}
+
+TEST(TraceStrict, TraceKeysDriveRunExperimentRecordAndReplay) {
+  const std::string path = ::testing::TempDir() + "fairswap_trace_test.csv";
+  core::ExperimentConfig cfg;
+  cfg.topology.node_count = 60;
+  cfg.topology.address_bits = 10;
+  cfg.files = 25;
+  cfg.seed = 5;
+
+  const auto plain = core::run_experiment(cfg);
+
+  core::ExperimentConfig record = cfg;
+  record.trace_out = path;
+  const auto recorded = core::run_experiment(record);
+  EXPECT_EQ(recorded.totals, plain.totals);  // recording must not perturb
+
+  core::ExperimentConfig replay = cfg;
+  replay.trace_in = path;
+  replay.files = 9999;  // ignored: the trace's request count runs
+  const auto replayed = core::run_experiment(replay);
+  EXPECT_EQ(replayed.totals, plain.totals);
+  EXPECT_EQ(replayed.served_per_node, plain.served_per_node);
+  EXPECT_EQ(replayed.income_per_node, plain.income_per_node);
+}
+
+TEST(TraceStrict, MalformedLinesAreHardErrorsNamingTheLine) {
+  // Non-numeric cell.
+  EXPECT_NE(error_of("1,2,3\ngarbage,4\n").find("trace line 2"),
+            std::string::npos);
+  // Empty line (formerly skipped silently).
+  EXPECT_NE(error_of("1,2\n\n3,4\n").find("trace line 2: empty line"),
+            std::string::npos);
+  // Request with no chunks.
+  EXPECT_NE(error_of("1,2\n7\n").find("trace line 2"), std::string::npos);
+  EXPECT_NE(error_of("7\n").find("no chunk addresses"), std::string::npos);
+  // Trailing comma (a silently-dropped empty cell before).
+  EXPECT_NE(error_of("5,1,\n").find("trailing comma"), std::string::npos);
+  // Empty first cell.
+  EXPECT_NE(error_of(",5\n").find("originator"), std::string::npos);
+  // Negative numbers must not wrap through strtoull.
+  EXPECT_NE(error_of("-1,5\n").find("not an unsigned"), std::string::npos);
+  EXPECT_NE(error_of("1,-5\n").find("not an unsigned"), std::string::npos);
+  // ...nor sneak past with the leading whitespace/sign strtoull skips.
+  EXPECT_NE(error_of("5, -7\n").find("not an unsigned"), std::string::npos);
+  EXPECT_NE(error_of(" 5,7\n").find("not an unsigned"), std::string::npos);
+  EXPECT_NE(error_of("5,+7\n").find("not an unsigned"), std::string::npos);
+  // Values that only fit after truncation are rejected even unchecked.
+  EXPECT_NE(error_of("4294967296,5\n").find("does not fit"),
+            std::string::npos);
+  EXPECT_NE(error_of("5,4294967296\n").find("does not fit"),
+            std::string::npos);
+  EXPECT_NE(error_of("5,18446744073709551620\n").find("not an unsigned"),
+            std::string::npos);  // > 2^64: strtoull overflow
+}
+
+TEST(TraceStrict, BoundsRejectOutOfRangeOriginatorsAndChunks) {
+  const TraceBounds bounds{100, 10};
+  EXPECT_TRUE(error_of("99,1023\n", bounds).empty());
+  EXPECT_NE(error_of("100,5\n", bounds).find("originator 100 out of range"),
+            std::string::npos);
+  EXPECT_NE(error_of("5,1024\n", bounds).find("does not fit a 10-bit"),
+            std::string::npos);
+  // Unchecked without bounds (syntactically fine).
+  EXPECT_TRUE(error_of("100,1024\n").empty());
+}
+
+TEST(TraceStrict, MissingTraceFileFailsTheExperiment) {
+  core::ExperimentConfig cfg;
+  cfg.topology.node_count = 20;
+  cfg.topology.address_bits = 8;
+  cfg.trace_in = "/nonexistent/fairswap_trace.csv";
+  EXPECT_THROW((void)core::run_experiment(cfg), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fairswap::workload
