@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
             std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0})) /
         static_cast<double>(degrees.size());
 
-    table.add_row({std::to_string(k), TextTable::num(result.fairness.gini_f2, 4),
+    table.add_row({std::to_string(k),
+                   TextTable::num(result.fairness.gini_f2, 4),
                    TextTable::num(result.fairness.gini_f1, 4),
                    TextTable::num(result.avg_forwarded_chunks, 0),
                    TextTable::num(avg_degree, 1),

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
     // Token income is zero under tit-for-tat: fall back to "-".
     const bool has_income = result.fairness.earning_nodes > 0;
     table.add_row({policy,
-                   has_income ? TextTable::num(result.fairness.gini_f2, 4) : "-",
+                   has_income ? TextTable::num(result.fairness.gini_f2, 4)
+                              : "-",
                    TextTable::num(result.fairness.gini_f1, 4),
                    std::to_string(result.totals.refused),
                    std::to_string(result.settlement_count)});
@@ -71,7 +72,8 @@ int main(int argc, char** argv) {
               "(rewards ignore delivered traffic) at the cost of F1; "
               "tit-for-tat moves no tokens at all — its 'reward' is access, "
               "measured by the refusal column.\n");
-  core::write_text_file(args.out_dir + "/ablation_policies.csv", csv_text.str());
+  core::write_text_file(args.out_dir + "/ablation_policies.csv",
+                        csv_text.str());
   std::printf("wrote %s/ablation_policies.csv\n", args.out_dir.c_str());
   return 0;
 }

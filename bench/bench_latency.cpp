@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
                    TextTable::num(s.median, 0), TextTable::num(s.p90, 0),
                    TextTable::num(s.p99, 0),
                    std::to_string(network.messages_sent())});
-    csv.cells(k, static_cast<double>(successes) / static_cast<double>(retrievals),
+    csv.cells(k,
+              static_cast<double>(successes) / static_cast<double>(retrievals),
               hops.mean(), s.mean, s.median, s.p90, s.p99,
               network.messages_sent());
   }

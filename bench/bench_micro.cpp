@@ -157,7 +157,8 @@ void BM_BmtChunkAddress(benchmark::State& state) {
   Rng rng(7);
   for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(storage::bmt_chunk_address(payload, payload.size()));
+    benchmark::DoNotOptimize(
+        storage::bmt_chunk_address(payload, payload.size()));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(storage::kChunkSize));

@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
     for (const double fee_frac : {0.0, 0.001, 0.01, 0.1}) {
       const double mean_income =
           r.total_income /
-          static_cast<double>(r.fairness.earning_nodes ? r.fairness.earning_nodes : 1);
+          static_cast<double>(
+              r.fairness.earning_nodes ? r.fairness.earning_nodes : 1);
       const Token fee(static_cast<Token::rep>(mean_income * fee_frac));
       accounting::SettlementChain chain(fee);
       std::size_t earning = 0;

@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
                                         static_cast<double>(lookups), 2) + "%",
                      TextTable::num(exposure.mean(), 2),
                      TextTable::num(msgs.mean(), 2)});
-      csv.cells(scheme, k, static_cast<double>(ok) / static_cast<double>(lookups),
+      csv.cells(scheme, k,
+                static_cast<double>(ok) / static_cast<double>(lookups),
                 exposure.mean(), msgs.mean());
     };
     row("forwarding", fw_ok, fw_exposure, fw_messages);

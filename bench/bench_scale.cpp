@@ -12,7 +12,12 @@
 // verifies identical ledger state, and reports ns/debit plus the speedup
 // and the memory cost of each backend.
 //
-// Part 3 — scale scenarios: nodes (default 10'000) on a bits (default 20)
+// Part 3 — flow-level overhead: on the same grid, runs one cell
+// counter-based and once with SimulationConfig::flow_level, verifies the
+// accounting is bit-identical (the flow layer is purely temporal) and
+// reports the wall-clock overhead plus the FCT/saturation outputs.
+//
+// Part 4 — scale scenarios: nodes (default 10'000) on a bits (default 20)
 // -bit address space across k in {4, 20}, driven through the parallel
 // multi-seed run_seeds path; prints fairness aggregates with error bars
 // plus the route accounting (delivered / failed / truncated). Each cell
@@ -25,7 +30,7 @@
 // repo's bench trajectory artifact.
 //
 // Overrides: nodes=<n> bits=<n> files=<n> seeds=<count> threads=<max>
-//            routes=<n> seed=<n> out=<dir>
+//            routes=<n> flow_files=<n> seed=<n> out=<dir>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -82,7 +87,8 @@ MicroResult route_microbench(std::size_t k, std::size_t route_count,
   std::vector<RoutePair> pairs(route_count);
   for (auto& p : pairs) {
     p.origin = static_cast<overlay::NodeIndex>(rng.index(topo.node_count()));
-    p.chunk = Address{static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    p.chunk = Address{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
   }
 
   MicroResult result;
@@ -191,7 +197,8 @@ LedgerResult ledger_microbench(std::size_t k, std::size_t route_count,
   std::vector<Address> chunks(route_count);
   for (std::size_t i = 0; i < route_count; ++i) {
     origins[i] = static_cast<overlay::NodeIndex>(rng.index(topo.node_count()));
-    chunks[i] = Address{static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    chunks[i] = Address{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
   }
   std::vector<overlay::Route> routes;
   router.route_batch(origins, chunks, routes);
@@ -235,7 +242,8 @@ LedgerResult ledger_microbench(std::size_t k, std::size_t route_count,
   result.identical = map_ledger.income() == edge_ledger.income() &&
                      map_ledger.spent() == edge_ledger.spent() &&
                      map_ledger.settlements() == edge_ledger.settlements() &&
-                     map_ledger.outstanding_debt() == edge_ledger.outstanding_debt() &&
+                     map_ledger.outstanding_debt() ==
+                         edge_ledger.outstanding_debt() &&
                      map_ledger.active_pairs() == edge_ledger.active_pairs();
   result.map_bytes = map_ledger.memory_bytes();
   result.edge_bytes = edge_ledger.memory_bytes();
@@ -290,8 +298,76 @@ CellLedgerCheck scale_ledger_check(const core::ExperimentConfig& cfg,
   check.map_bytes = b.memory_bytes();
   check.settlements = a.settlements().size();
   check.active_pairs = a.active_pairs();
-  check.edge_result = core::package_experiment(cfg, *edge_sim, check.edge_wall_s);
+  check.edge_result =
+      core::package_experiment(cfg, *edge_sim, check.edge_wall_s);
   return check;
+}
+
+struct FlowBenchResult {
+  std::size_t k{0};
+  double counter_wall_s{0};
+  double flow_wall_s{0};
+  /// Counter-based and flow-level runs agree on every accounting field.
+  bool identical{true};
+  std::uint64_t flows{0};
+  double fct_p50{0};
+  double fct_p99{0};
+  std::uint64_t saturated_links{0};
+  double max_utilization{0};
+
+  [[nodiscard]] double overhead() const {
+    return flow_wall_s / counter_wall_s;
+  }
+};
+
+/// Runs one paper-grid cell counter-based and flow-level (same seed), times
+/// both, cross-checks the accounting and reports the temporal outputs —
+/// the bench leg of tests/net/flow_equivalence_test.cpp.
+FlowBenchResult flow_bench(std::size_t k, std::size_t files,
+                           std::uint64_t seed) {
+  auto cfg = core::paper_config(k, 1.0, files, seed);
+  cfg.sim.flow.link_capacity = 0.01;  // congested enough to saturate links
+  const auto topo = core::build_topology(cfg);
+
+  auto run_one = [&](bool flow_level, double& wall_s) {
+    auto sim_cfg = cfg.sim;
+    sim_cfg.flow_level = flow_level;
+    Rng root(cfg.seed);
+    Rng sim_rng = root.split(1);
+    auto sim = std::make_unique<core::Simulation>(topo, sim_cfg, sim_rng);
+    const auto start = std::chrono::steady_clock::now();
+    sim->run(cfg.files);
+    sim->finish_flows();
+    wall_s = seconds_since(start);
+    return sim;
+  };
+
+  FlowBenchResult result;
+  result.k = k;
+  const auto counter_sim = run_one(false, result.counter_wall_s);
+  const auto flow_sim = run_one(true, result.flow_wall_s);
+  const auto& a = counter_sim->totals();
+  const auto& b = flow_sim->totals();
+  result.identical =
+      a.files == b.files && a.chunk_requests == b.chunk_requests &&
+      a.delivered == b.delivered && a.refused == b.refused &&
+      a.failed_routes == b.failed_routes &&
+      a.truncated_routes == b.truncated_routes &&
+      a.local_hits == b.local_hits &&
+      a.total_transmissions == b.total_transmissions &&
+      counter_sim->counters() == flow_sim->counters() &&
+      counter_sim->income_per_node() == flow_sim->income_per_node() &&
+      counter_sim->swap().income() == flow_sim->swap().income() &&
+      counter_sim->swap().spent() == flow_sim->swap().spent() &&
+      counter_sim->swap().settlements() == flow_sim->swap().settlements() &&
+      counter_sim->swap().outstanding_debt() ==
+          flow_sim->swap().outstanding_debt();
+  result.flows = b.flows_started;
+  result.fct_p50 = b.fct_p50;
+  result.fct_p99 = b.fct_p99;
+  result.saturated_links = b.saturated_links;
+  result.max_utilization = b.max_link_utilization;
+  return result;
 }
 
 }  // namespace
@@ -365,7 +441,29 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", ledger_table.render().c_str());
 
-  // --- Part 3: scale scenarios through the parallel run_seeds path. ---
+  // --- Part 3: flow-level overhead + differential on the 1000-node grid. ---
+  const auto flow_files = static_cast<std::size_t>(
+      args.cfg.get_or("flow_files", std::uint64_t{100}));
+  bench::banner("Flow-level simulation: counter vs flow-level (1000 nodes, " +
+                std::to_string(flow_files) + " files)");
+  TextTable flow_table({"grid cell", "counter wall (s)", "flow wall (s)",
+                        "overhead", "flows", "FCT p50", "FCT p99",
+                        "saturated links", "max util", "bit-identical"});
+  std::vector<FlowBenchResult> flow_results;
+  for (const std::size_t k : {std::size_t{4}, std::size_t{20}}) {
+    const auto r = flow_bench(k, flow_files, args.seed);
+    all_identical = all_identical && r.identical;
+    flow_table.add_row(
+        {"k=" + std::to_string(k), TextTable::num(r.counter_wall_s, 2),
+         TextTable::num(r.flow_wall_s, 2), TextTable::num(r.overhead(), 2),
+         std::to_string(r.flows), TextTable::num(r.fct_p50, 0),
+         TextTable::num(r.fct_p99, 0), std::to_string(r.saturated_links),
+         TextTable::num(r.max_utilization, 2), r.identical ? "yes" : "NO"});
+    flow_results.push_back(r);
+  }
+  std::printf("%s", flow_table.render().c_str());
+
+  // --- Part 4: scale scenarios through the parallel run_seeds path. ---
   bench::banner("Scale scenarios (" + std::to_string(nodes) + " nodes, " +
                 std::to_string(bits) + "-bit space, " +
                 std::to_string(seed_count) + " seeds x " +
@@ -412,8 +510,10 @@ int main(int argc, char** argv) {
         {cfg.label, TextTable::num(check.edge_wall_s, 2),
          TextTable::num(check.map_wall_s, 2),
          TextTable::num(check.speedup(), 2),
-         TextTable::num(static_cast<double>(check.edge_bytes) / (1024.0 * 1024.0), 1),
-         TextTable::num(static_cast<double>(check.map_bytes) / (1024.0 * 1024.0), 1),
+         TextTable::num(
+             static_cast<double>(check.edge_bytes) / (1024.0 * 1024.0), 1),
+         TextTable::num(
+             static_cast<double>(check.map_bytes) / (1024.0 * 1024.0), 1),
          check.identical ? "yes" : "NO"});
     cell_rows.push_back(
         {cfg.label, agg, topo.compiled().memory_bytes(), elapsed, check});
@@ -468,6 +568,22 @@ int main(int argc, char** argv) {
     json.close();
   }
   json.close_list();
+  json.open_list("flow");
+  for (const auto& r : flow_results) {
+    json.open();
+    json.field("k", r.k);
+    json.field("counter_wall_s", r.counter_wall_s);
+    json.field("flow_wall_s", r.flow_wall_s);
+    json.field("overhead", r.overhead());
+    json.field("flows", r.flows);
+    json.field("fct_p50", r.fct_p50);
+    json.field("fct_p99", r.fct_p99);
+    json.field("saturated_links", r.saturated_links);
+    json.field("max_link_utilization", r.max_utilization);
+    json.field("identical", r.identical);
+    json.close();
+  }
+  json.close_list();
   json.open_list("scale");
   for (const auto& c : cell_rows) {
     json.open();
@@ -500,12 +616,13 @@ int main(int argc, char** argv) {
                         core::totals_csv(bench::as_ptrs(singles)));
   core::write_text_file(args.out_dir + "/BENCH_scale.json",
                         json_text.str() + "\n");
-  std::printf("wrote %s/{scale_routing.csv, scale_totals.csv, BENCH_scale.json}\n",
-              args.out_dir.c_str());
+  std::printf(
+      "wrote %s/{scale_routing.csv, scale_totals.csv, BENCH_scale.json}\n",
+      args.out_dir.c_str());
 
   if (!all_identical) {
-    std::printf("ERROR: a compiled path diverged from its reference "
-                "(routing and/or ledger)\n");
+    std::printf("ERROR: a derived path diverged from its reference "
+                "(routing, ledger and/or flow accounting)\n");
     return 1;
   }
   return 0;

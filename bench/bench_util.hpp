@@ -46,7 +46,8 @@ inline void banner(const std::string& title) {
 /// (k=20,100%) through the harness grid runner, which shares one built
 /// topology per k — mirroring the paper's reuse of one overlay across
 /// simulations.
-inline std::vector<core::ExperimentResult> run_paper_grid(const BenchArgs& args) {
+inline std::vector<core::ExperimentResult> run_paper_grid(
+    const BenchArgs& args) {
   return harness::run_grid(core::paper_grid(args.files, args.seed),
                            [&](const core::ExperimentConfig& cfg) {
                              std::printf("running %s (%zu files)...\n",

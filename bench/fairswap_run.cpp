@@ -41,7 +41,8 @@ const std::vector<std::string> kSweepReserved = {
 void usage(std::ostream& out) {
   out << "usage:\n"
          "  fairswap_run list\n"
-         "  fairswap_run <scenario> [files=N] [seed=N] [out=DIR] [key=value...]\n"
+         "  fairswap_run <scenario> [files=N] [seed=N] [out=DIR] "
+         "[key=value...]\n"
          "  fairswap_run sweep [key=value | key=v1,v2,...]... [seeds=N]\n"
          "               [threads=T] [out=DIR] [json=FILE] [csv=FILE]\n"
          "               [config=FILE]\n"

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
     for (std::uint64_t i = 0; i < probes; ++i) {
       overlay::NodeIndex origin;
       do {
-        origin = static_cast<overlay::NodeIndex>(rng.index(overlay.node_count()));
+        origin =
+            static_cast<overlay::NodeIndex>(rng.index(overlay.node_count()));
       } while (!overlay.alive(origin));
       const Address chunk{static_cast<AddressValue>(
           rng.next_below(overlay.topology().space().size()))};

@@ -25,8 +25,10 @@ int main(int argc, char** argv) {
   cfg.topology.buckets.k = args.get_or("k", std::uint64_t{4});
   cfg.topology.buckets.k_bucket0 = args.get_or("k0", std::uint64_t{0});
   cfg.sim.workload.originator_share = args.get_or("share", 1.0);
-  cfg.sim.workload.min_chunks_per_file = args.get_or("min_chunks", std::uint64_t{100});
-  cfg.sim.workload.max_chunks_per_file = args.get_or("max_chunks", std::uint64_t{1000});
+  cfg.sim.workload.min_chunks_per_file =
+      args.get_or("min_chunks", std::uint64_t{100});
+  cfg.sim.workload.max_chunks_per_file =
+      args.get_or("max_chunks", std::uint64_t{1000});
   cfg.sim.workload.catalog_size = args.get_or("catalog", std::uint64_t{0});
   cfg.sim.workload.catalog_zipf_alpha = args.get_or("zipf", 0.8);
   cfg.sim.policy = args.get_or("policy", std::string{"zero-proximity"});
@@ -49,10 +51,11 @@ int main(int argc, char** argv) {
   const auto result = core::run_experiment(cfg);
   std::printf("\n%s", core::summarize_result(result).c_str());
 
-  std::printf("\nper-node forwarded-chunk distribution:\n%s",
-              histogram_of(std::span<const std::uint64_t>(result.served_per_node), 16)
-                  .render(48)
-                  .c_str());
+  std::printf(
+      "\nper-node forwarded-chunk distribution:\n%s",
+      histogram_of(std::span<const std::uint64_t>(result.served_per_node), 16)
+          .render(48)
+          .c_str());
 
   std::printf("\nincome distribution (token base units):\n");
   std::vector<std::uint64_t> income_units;
@@ -60,9 +63,10 @@ int main(int argc, char** argv) {
   for (const double v : result.income_per_node) {
     income_units.push_back(static_cast<std::uint64_t>(v));
   }
-  std::printf("%s", histogram_of(std::span<const std::uint64_t>(income_units), 16)
-                        .render(48)
-                        .c_str());
+  std::printf("%s",
+              histogram_of(std::span<const std::uint64_t>(income_units), 16)
+                  .render(48)
+                  .c_str());
 
   if (const auto csv = args.get("csv")) {
     core::write_text_file(*csv, core::lorenz_csv({&result}, false));

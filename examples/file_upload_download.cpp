@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
               stored_per_node.size(), request.chunks.size());
 
   // 3) Download the file through the incentive simulator.
-  core::SimulationConfig sim_cfg;  // paper defaults: zero-proximity, xor pricing
+  core::SimulationConfig sim_cfg;  // paper defaults: zero-proximity, xor
+                                   // pricing
   core::Simulation sim(topo, sim_cfg, Rng(7));
   sim.apply(request);
 

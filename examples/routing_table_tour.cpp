@@ -24,7 +24,8 @@ int main() {
   // Pick the node closest to the paper's example id 91.
   const overlay::NodeIndex self = topo.closest_node(Address{91});
   const Address self_addr = topo.address_of(self);
-  std::printf("our node: %s (%s)\n\n", AddressSpace::to_decimal(self_addr).c_str(),
+  std::printf("our node: %s (%s)\n\n",
+              AddressSpace::to_decimal(self_addr).c_str(),
               space.to_binary(self_addr).c_str());
 
   std::printf("its routing table, bucket by bucket (bucket i holds peers "

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   }
   std::printf("uploaders bought %zu batches (%s total) and stamped %llu "
               "chunks\n",
-              office.batch_count(), office.total_purchased().to_string().c_str(),
+              office.batch_count(),
+              office.total_purchased().to_string().c_str(),
               static_cast<unsigned long long>(stamped));
 
   // The redistribution game, funded by draining batch balances each round.

@@ -55,7 +55,9 @@ class Chequebook {
   [[nodiscard]] Token total_issued() const;
 
   [[nodiscard]] NodeIndex owner() const noexcept { return owner_; }
-  [[nodiscard]] std::size_t beneficiary_count() const noexcept { return totals_.size(); }
+  [[nodiscard]] std::size_t beneficiary_count() const noexcept {
+    return totals_.size();
+  }
 
  private:
   NodeIndex owner_;
@@ -75,7 +77,9 @@ class SettlementChain {
   std::optional<CashResult> cash(const Cheque& cheque);
 
   [[nodiscard]] Token tx_fee() const noexcept { return tx_fee_; }
-  [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] std::uint64_t transactions() const noexcept {
+    return transactions_;
+  }
   [[nodiscard]] Token total_fees_collected() const noexcept { return fees_; }
 
  private:

@@ -40,7 +40,8 @@ EdgeLedger::EdgeLedger(const overlay::CompiledRouter& router, SwapConfig config)
         pair_lo_.push_back(lo);
         pair_hi_.push_back(half[i].hi);
       }
-      edge_slot_[half[i].edge] = static_cast<std::uint32_t>(pair_lo_.size() - 1);
+      edge_slot_[half[i].edge] =
+          static_cast<std::uint32_t>(pair_lo_.size() - 1);
     }
   }
   pair_balance_.assign(pair_lo_.size(), Token(0));
@@ -103,7 +104,8 @@ DebitResult EdgeLedger::debit(NodeIndex consumer, NodeIndex provider,
   return DebitResult::kOk;
 }
 
-void EdgeLedger::pay_direct(NodeIndex consumer, NodeIndex provider, Token amount) {
+void EdgeLedger::pay_direct(NodeIndex consumer, NodeIndex provider,
+                            Token amount) {
   assert(consumer != provider);
   assert(!amount.negative());
   income_[provider] += amount;
@@ -116,7 +118,8 @@ void EdgeLedger::mint(NodeIndex node, Token amount) {
   income_[node] += amount;
 }
 
-Token EdgeLedger::balance(NodeIndex provider, NodeIndex peer, EdgeId edge) const {
+Token EdgeLedger::balance(NodeIndex provider, NodeIndex peer,
+                          EdgeId edge) const {
   const std::uint32_t slot =
       edge != kNoEdge ? edge_slot_[edge] : slot_of(provider, peer);
   if (slot == kNoSlot) return Token(0);

@@ -90,8 +90,12 @@ class EdgeLedger {
 
   [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
   [[nodiscard]] const SwapConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const std::vector<Token>& income() const noexcept { return income_; }
-  [[nodiscard]] const std::vector<Token>& spent() const noexcept { return spent_; }
+  [[nodiscard]] const std::vector<Token>& income() const noexcept {
+    return income_;
+  }
+  [[nodiscard]] const std::vector<Token>& spent() const noexcept {
+    return spent_;
+  }
   [[nodiscard]] const std::vector<Settlement>& settlements() const noexcept {
     return settlements_;
   }
@@ -100,7 +104,9 @@ class EdgeLedger {
   [[nodiscard]] Token outstanding_debt() const;
 
   /// Number of pairs with a nonzero balance (the active-list length).
-  [[nodiscard]] std::size_t active_pairs() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t active_pairs() const noexcept {
+    return active_.size();
+  }
 
   /// Visits every pair with a nonzero balance as (low_node, high_node,
   /// balance_from_low's perspective). Visit order is unspecified (the
@@ -109,7 +115,9 @@ class EdgeLedger {
       const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const;
 
   /// Total connected unordered pairs (== allocated balance slots).
-  [[nodiscard]] std::size_t pair_count() const noexcept { return pair_lo_.size(); }
+  [[nodiscard]] std::size_t pair_count() const noexcept {
+    return pair_lo_.size();
+  }
 
   /// Bytes held by the arena arrays (edge->slot map, balance slots,
   /// active list, income/spent, settlement log) — the memory cost of

@@ -10,8 +10,8 @@ SwapNetwork::SwapNetwork(std::size_t node_count, SwapConfig config)
   assert(config.disconnect_threshold >= config.payment_threshold);
 }
 
-DebitResult SwapNetwork::debit(NodeIndex consumer, NodeIndex provider, Token amount,
-                               bool can_settle) {
+DebitResult SwapNetwork::debit(NodeIndex consumer, NodeIndex provider,
+                               Token amount, bool can_settle) {
   assert(consumer != provider);
   assert(!amount.negative());
   const NodeIndex lo = consumer < provider ? consumer : provider;
@@ -56,7 +56,8 @@ DebitResult SwapNetwork::debit(NodeIndex consumer, NodeIndex provider, Token amo
   return DebitResult::kOk;
 }
 
-void SwapNetwork::pay_direct(NodeIndex consumer, NodeIndex provider, Token amount) {
+void SwapNetwork::pay_direct(NodeIndex consumer, NodeIndex provider,
+                             Token amount) {
   assert(consumer != provider);
   assert(!amount.negative());
   income_[provider] += amount;

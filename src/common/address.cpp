@@ -6,7 +6,8 @@
 
 namespace fairswap {
 
-AddressSpace::AddressSpace(int bits) noexcept : bits_(std::clamp(bits, 1, 32)) {}
+AddressSpace::AddressSpace(int bits) noexcept
+    : bits_(std::clamp(bits, 1, 32)) {}
 
 bool AddressSpace::contains(Address a) const noexcept {
   if (bits_ == 32) return true;

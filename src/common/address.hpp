@@ -31,7 +31,8 @@ struct Address {
 /// XOR distance between two addresses. The metric is symmetric, satisfies
 /// the triangle inequality, and is unidirectional (for any target and
 /// distance there is at most one address at that distance).
-[[nodiscard]] constexpr AddressValue xor_distance(Address a, Address b) noexcept {
+[[nodiscard]] constexpr AddressValue xor_distance(Address a,
+                                                  Address b) noexcept {
   return a.v ^ b.v;
 }
 
@@ -68,7 +69,8 @@ class AddressSpace {
   [[nodiscard]] AddressValue distance(Address a, Address b) const noexcept;
 
   /// True if `a` is strictly closer to `target` than `b` is.
-  [[nodiscard]] bool closer(Address a, Address b, Address target) const noexcept;
+  [[nodiscard]] bool closer(Address a, Address b,
+                            Address target) const noexcept;
 
   /// Renders an address as a zero-padded binary string of `bits` digits,
   /// matching the bucket diagrams in the paper (Fig. 3).

@@ -64,7 +64,8 @@ std::optional<std::string> Config::get(const std::string& key) const {
   return it->second;
 }
 
-std::string Config::get_or(const std::string& key, const std::string& dflt) const {
+std::string Config::get_or(const std::string& key,
+                           const std::string& dflt) const {
   return get(key).value_or(dflt);
 }
 
@@ -102,8 +103,9 @@ bool Config::get_or(const std::string& key, bool dflt) const {
   const auto v = get(key);
   if (!v) return dflt;
   std::string s = *v;
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
   if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
   if (s == "0" || s == "false" || s == "no" || s == "off") return false;
   last_error_ = key + ": cannot parse '" + *v + "' as a boolean";

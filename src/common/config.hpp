@@ -30,9 +30,12 @@ class Config {
 
   /// Typed getters with defaults. Malformed values fall back to the
   /// default (and are reported via last_error()).
-  [[nodiscard]] std::string get_or(const std::string& key, const std::string& dflt) const;
-  [[nodiscard]] std::int64_t get_or(const std::string& key, std::int64_t dflt) const;
-  [[nodiscard]] std::uint64_t get_or(const std::string& key, std::uint64_t dflt) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& dflt) const;
+  [[nodiscard]] std::int64_t get_or(const std::string& key,
+                                    std::int64_t dflt) const;
+  [[nodiscard]] std::uint64_t get_or(const std::string& key,
+                                     std::uint64_t dflt) const;
   [[nodiscard]] double get_or(const std::string& key, double dflt) const;
   [[nodiscard]] bool get_or(const std::string& key, bool dflt) const;
 
@@ -43,8 +46,12 @@ class Config {
   /// stale reports leaking into the next batch.
   [[nodiscard]] std::string last_error() const;
 
-  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
-  [[nodiscard]] const std::map<std::string, std::string>& entries() const { return kv_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return kv_;
+  }
 
  private:
   std::map<std::string, std::string> kv_;

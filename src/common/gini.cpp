@@ -60,7 +60,8 @@ std::vector<LorenzPoint> lorenz_curve(std::span<const double> values,
 
   // Choose which observation indices to emit (evenly spaced when
   // down-sampling; always include the last).
-  const std::size_t points = (max_points == 0 || max_points >= n) ? n : max_points;
+  const std::size_t points =
+      (max_points == 0 || max_points >= n) ? n : max_points;
   double cumulative = 0.0;
   std::size_t emitted = 0;
   for (std::size_t i = 0; i < n; ++i) {

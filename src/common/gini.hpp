@@ -46,8 +46,8 @@ struct LorenzPoint {
 /// The returned curve always starts at (0,0) and ends at (1,1) and has at
 /// most `max_points + 1` entries (down-sampled evenly for plotting; pass 0
 /// for one point per observation). A diagonal curve means perfect equality.
-[[nodiscard]] std::vector<LorenzPoint> lorenz_curve(std::span<const double> values,
-                                                    std::size_t max_points = 0);
+[[nodiscard]] std::vector<LorenzPoint> lorenz_curve(
+    std::span<const double> values, std::size_t max_points = 0);
 
 /// Gini computed from a Lorenz curve by trapezoidal integration:
 ///   G = 1 - 2 * AUC. Useful to cross-check curve extraction.

@@ -8,7 +8,9 @@
 namespace fairswap {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
       counts_(bins == 0 ? 1 : bins, 0) {
   assert(hi > lo);
 }
@@ -50,9 +52,11 @@ std::string Histogram::render(std::size_t max_bar_width) const {
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     const std::uint64_t c = counts_[b];
     const std::size_t bar =
-        peak == 0 ? 0 : static_cast<std::size_t>(static_cast<double>(c) /
-                                                 static_cast<double>(peak) *
-                                                 static_cast<double>(max_bar_width));
+        peak == 0
+            ? 0
+            : static_cast<std::size_t>(static_cast<double>(c) /
+                                       static_cast<double>(peak) *
+                                       static_cast<double>(max_bar_width));
     out << "[" << static_cast<std::uint64_t>(bin_left(b)) << ", "
         << static_cast<std::uint64_t>(bin_right(b)) << ") "
         << std::string(bar, '#') << " " << c << "\n";
@@ -60,7 +64,8 @@ std::string Histogram::render(std::size_t max_bar_width) const {
   return out.str();
 }
 
-Histogram histogram_of(std::span<const std::uint64_t> values, std::size_t bins) {
+Histogram histogram_of(std::span<const std::uint64_t> values,
+                       std::size_t bins) {
   std::uint64_t max_v = 0;
   for (std::uint64_t v : values) max_v = std::max(max_v, v);
   const double hi = static_cast<double>(max_v) + 1.0;

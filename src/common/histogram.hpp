@@ -19,8 +19,12 @@ class Histogram {
 
   void add(double value, std::uint64_t weight = 1) noexcept;
 
-  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
-  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept {
+    return counts_[bin];
+  }
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
@@ -41,7 +45,9 @@ class Histogram {
   /// Renders a plain-text bar chart (one line per bin) for terminal output.
   [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
 
-  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
 
  private:
   double lo_;

@@ -72,7 +72,9 @@ struct JsonValue {
   std::vector<JsonValue> array;
   std::map<std::string, JsonValue> object;
 
-  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
   [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
   [[nodiscard]] bool has(const std::string& key) const {
     return kind == Kind::kObject && object.count(key) > 0;

@@ -65,8 +65,8 @@ std::size_t Rng::index(std::size_t n) noexcept {
   return static_cast<std::size_t>(next_below(n));
 }
 
-std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
-                                                         std::size_t count) noexcept {
+std::vector<std::size_t> Rng::sample_without_replacement(
+    std::size_t n, std::size_t count) noexcept {
   std::vector<std::size_t> idx(n);
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   const std::size_t take = count < n ? count : n;

@@ -37,7 +37,8 @@ class SplitMix64 {
 
 /// Default seed used throughout the repository; all paper reproductions are
 /// run with this seed unless a bench/test overrides it.
-inline constexpr std::uint64_t kDefaultSeed = 0xFA1250'2208'0706'7ULL & 0xFFFFFFFFFFFFFFFFULL;
+inline constexpr std::uint64_t kDefaultSeed =
+    0xFA1250'2208'0706'7ULL & 0xFFFFFFFFFFFFFFFFULL;
 
 /// xoshiro256** 1.0 (Blackman & Vigna 2018). All experiment randomness in
 /// FairSwap flows through this generator. Satisfies the
@@ -92,8 +93,8 @@ class Rng {
   /// Samples `count` distinct indices from [0, n) without replacement
   /// (partial Fisher-Yates over an index vector). If count >= n, returns
   /// all indices in shuffled order.
-  std::vector<std::size_t> sample_without_replacement(std::size_t n,
-                                                      std::size_t count) noexcept;
+  std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t count) noexcept;
 
   /// Splits off an independent child generator; children with different
   /// `stream` ids are statistically independent of each other and of the

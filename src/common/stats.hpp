@@ -29,7 +29,8 @@ struct Summary {
 [[nodiscard]] Summary summarize(std::span<const std::uint64_t> values);
 
 /// Linear-interpolation percentile of a *sorted* sample, q in [0, 1].
-[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
 
 /// Running mean/variance accumulator (Welford). Useful when streams are too
 /// large to hold, e.g. per-chunk route lengths in the 10k-file experiments.

@@ -6,7 +6,8 @@
 
 namespace fairswap {
 
-TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
   cells.resize(headers_.size());
@@ -21,7 +22,9 @@ std::string TextTable::num(double v, int precision) {
 
 std::string TextTable::render() const {
   std::vector<std::size_t> width(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       width[c] = std::max(width[c], row[c].size());

@@ -43,7 +43,9 @@ class Token {
   friend constexpr auto operator<=>(const Token&, const Token&) = default;
 
   constexpr Token operator-() const noexcept {
-    if (units_ == std::numeric_limits<rep>::min()) return Token(std::numeric_limits<rep>::max());
+    if (units_ == std::numeric_limits<rep>::min()) {
+      return Token(std::numeric_limits<rep>::max());
+    }
     return Token(-units_);
   }
 
@@ -71,7 +73,8 @@ class Token {
   static constexpr rep saturating_add(rep a, rep b) noexcept {
     rep out = 0;
     if (__builtin_add_overflow(a, b, &out)) {
-      return a > 0 ? std::numeric_limits<rep>::max() : std::numeric_limits<rep>::min();
+      return a > 0 ? std::numeric_limits<rep>::max()
+                   : std::numeric_limits<rep>::min();
     }
     return out;
   }
@@ -79,7 +82,8 @@ class Token {
     rep out = 0;
     if (__builtin_mul_overflow(a, b, &out)) {
       const bool negative = (a < 0) != (b < 0);
-      return negative ? std::numeric_limits<rep>::min() : std::numeric_limits<rep>::max();
+      return negative ? std::numeric_limits<rep>::min()
+                      : std::numeric_limits<rep>::max();
     }
     return out;
   }

@@ -110,6 +110,9 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
   Rng sim_rng = root.split(1);
   Simulation sim(topo, config.sim, sim_rng);
   drive_simulation(sim, config, topo);
+  // Flow-level runs: let every in-flight transfer finish or time out so
+  // the totals carry final FCT percentiles (no-op otherwise).
+  sim.finish_flows();
 
   return package_experiment(
       config, sim,

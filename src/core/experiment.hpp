@@ -99,9 +99,9 @@ struct ExperimentResult {
 /// the collection half of run_experiment, exposed so callers that drive a
 /// Simulation themselves (e.g. bench_scale's ledger differential) reuse
 /// one run for both purposes instead of re-simulating.
-[[nodiscard]] ExperimentResult package_experiment(const ExperimentConfig& config,
-                                                  const Simulation& sim,
-                                                  double runtime_seconds);
+[[nodiscard]] ExperimentResult package_experiment(
+    const ExperimentConfig& config, const Simulation& sim,
+    double runtime_seconds);
 
 /// Runs against an already-built topology (the paper reuses one overlay
 /// for multiple simulations). The topology must match config.topology in

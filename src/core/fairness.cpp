@@ -39,11 +39,13 @@ FairnessReport compute_fairness(const FairnessInputs& in,
     }
     if (in.income[i] > 0.0) {
       ++report.earning_nodes;
-      f1_income_ratios.push_back(static_cast<double>(in.served[i]) / in.income[i]);
+      f1_income_ratios.push_back(static_cast<double>(in.served[i]) /
+                                 in.income[i]);
     }
   }
   report.gini_f1_income = gini(std::span<const double>(f1_income_ratios));
-  report.lorenz_f1 = lorenz_curve(std::span<const double>(f1_ratios), lorenz_points);
+  report.lorenz_f1 =
+      lorenz_curve(std::span<const double>(f1_ratios), lorenz_points);
   return report;
 }
 

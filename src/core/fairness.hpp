@@ -22,9 +22,10 @@ namespace fairswap::core {
 
 /// Inputs: three same-length per-node vectors.
 struct FairnessInputs {
-  std::span<const std::uint64_t> served;           ///< total chunks transmitted
-  std::span<const std::uint64_t> served_first_hop; ///< paid (zero-proximity) serves
-  std::span<const double> income;                  ///< token income (base units)
+  std::span<const std::uint64_t> served;  ///< total chunks transmitted
+  /// paid (zero-proximity) serves
+  std::span<const std::uint64_t> served_first_hop;
+  std::span<const double> income;  ///< token income (base units)
 };
 
 /// The paper's fairness measurements plus the Lorenz curves behind them.

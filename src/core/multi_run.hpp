@@ -52,6 +52,7 @@ struct AggregateResult {
                                         std::size_t count, std::size_t threads);
 
 /// "mean ± stddev" rendering helper.
-[[nodiscard]] std::string mean_pm_std(const RunningStats& stats, int precision = 4);
+[[nodiscard]] std::string mean_pm_std(const RunningStats& stats,
+                                      int precision = 4);
 
 }  // namespace fairswap::core

@@ -17,7 +17,8 @@ std::string lorenz_csv(const std::vector<const ExperimentResult*>& results,
   CsvWriter csv(out);
   csv.cells("label", "population_share", "value_share");
   for (const auto* r : results) {
-    const auto& curve = f1_curve ? r->fairness.lorenz_f1 : r->fairness.lorenz_f2;
+    const auto& curve =
+        f1_curve ? r->fairness.lorenz_f1 : r->fairness.lorenz_f2;
     for (const auto& p : curve) {
       csv.cells(r->config.label, p.population_share, p.value_share);
     }

@@ -6,7 +6,8 @@ namespace fairswap::core {
 
 std::string scenario_label(std::size_t k, double originator_share) {
   const auto pct = static_cast<int>(std::lround(originator_share * 100.0));
-  return "k=" + std::to_string(k) + ", " + std::to_string(pct) + "% originators";
+  return "k=" + std::to_string(k) + ", " + std::to_string(pct) +
+         "% originators";
 }
 
 ExperimentConfig paper_config(std::size_t k, double originator_share,
@@ -27,7 +28,8 @@ ExperimentConfig paper_config(std::size_t k, double originator_share,
   return cfg;
 }
 
-std::vector<ExperimentConfig> paper_grid(std::size_t files, std::uint64_t seed) {
+std::vector<ExperimentConfig> paper_grid(std::size_t files,
+                                         std::uint64_t seed) {
   return {
       paper_config(4, 0.2, files, seed),
       paper_config(4, 1.0, files, seed),

@@ -12,9 +12,9 @@
 namespace fairswap::core {
 
 /// One cell of the paper's grid.
-[[nodiscard]] ExperimentConfig paper_config(std::size_t k, double originator_share,
-                                            std::size_t files = 10'000,
-                                            std::uint64_t seed = kDefaultSeed);
+[[nodiscard]] ExperimentConfig paper_config(
+    std::size_t k, double originator_share, std::size_t files = 10'000,
+    std::uint64_t seed = kDefaultSeed);
 
 /// The full 2x2 grid, in the paper's reporting order:
 /// (k=4, 20%), (k=4, 100%), (k=20, 20%), (k=20, 100%).
@@ -22,7 +22,8 @@ namespace fairswap::core {
     std::size_t files = 10'000, std::uint64_t seed = kDefaultSeed);
 
 /// "k=4, 20% originators" style label.
-[[nodiscard]] std::string scenario_label(std::size_t k, double originator_share);
+[[nodiscard]] std::string scenario_label(std::size_t k,
+                                         double originator_share);
 
 /// One cell of the scale grid: `node_count` nodes on an `address_bits`-bit
 /// space with the paper's workload shape. Related incentive analyses

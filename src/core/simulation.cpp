@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "net/flow_sim.hpp"
 #include "overlay/compiled_router.hpp"
 
 namespace fairswap::core {
@@ -26,11 +27,13 @@ accounting::Ledger make_ledger(const SimulationConfig& config,
 
 }  // namespace
 
-Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config, Rng rng)
+Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
+                       Rng rng)
     : Simulation(topo, config, incentives::make_policy(config.policy), rng) {}
 
 Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
-                       std::unique_ptr<incentives::PaymentPolicy> policy, Rng rng)
+                       std::unique_ptr<incentives::PaymentPolicy> policy,
+                       Rng rng)
     : topo_(&topo),
       config_(std::move(config)),
       router_(topo.compiled_shared()),
@@ -39,8 +42,12 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
       policy_(std::move(policy)),
       counters_(topo.node_count()),
       free_riders_(topo.node_count(), 0) {
-  if (!pricer_) throw std::invalid_argument("unknown pricer: " + config_.pricer);
-  if (!policy_) throw std::invalid_argument("unknown policy: " + config_.policy);
+  if (!pricer_) {
+    throw std::invalid_argument("unknown pricer: " + config_.pricer);
+  }
+  if (!policy_) {
+    throw std::invalid_argument("unknown policy: " + config_.policy);
+  }
 
   stores_.reserve(topo.node_count());
   for (std::size_t i = 0; i < topo.node_count(); ++i) {
@@ -49,12 +56,19 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
 
   seed_state(rng);
 
+  if (config_.flow_level) {
+    flow_sim_ = std::make_unique<net::FlowSimulator>(
+        *router_, topo.node_count(), config_.flow);
+  }
+
   ctx_.topo = topo_;
   ctx_.swap = &swap_;
   ctx_.pricer = pricer_.get();
   ctx_.free_rider = &free_riders_;
   ctx_.refuses_service = &refuse_service_;
 }
+
+Simulation::~Simulation() = default;
 
 std::vector<std::uint8_t> Simulation::sample_free_riders(
     std::size_t node_count, double share, Rng rng) {
@@ -93,6 +107,7 @@ void Simulation::reset(Rng rng) {
     store = storage::ChunkStore(config_.cache_capacity);
   }
   refuse_service_.clear();
+  if (flow_sim_) flow_sim_->reset();
   seed_state(rng);
 }
 
@@ -241,6 +256,10 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
   if (from_cache) ++counters_[route.terminal()].cache_serves;
   ++counters_[route.first_hop()].chunks_served_first_hop;
   ++totals_.delivered;
+  // The flow layer rides behind the final accounting decision: a flow
+  // exists exactly for each delivered multi-hop chunk, so it can never
+  // perturb counters or payments.
+  if (flow_sim_) flow_sim_->start_chunk(route, is_upload);
 
   // Relay nodes opportunistically cache what they handled — on download
   // the chunk flows back through them, on upload it flows forward.
@@ -256,6 +275,12 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
 
 void Simulation::apply(const workload::DownloadRequest& request) {
   if (request.is_upload) ++totals_.upload_files;
+  // File i arrives at flow time i * interarrival: finish everything the
+  // link capacities allowed before then, so this file's flows contend
+  // only with transfers genuinely still in the air.
+  if (flow_sim_) {
+    flow_sim_->advance_to(config_.flow.interarrival * totals_.files);
+  }
   // Without caches a route never depends on accounting state, so the
   // file's chunks can be routed as one interleaved batch (overlapping the
   // walks' cache misses) and accounted afterwards in request order —
@@ -273,6 +298,7 @@ void Simulation::apply(const workload::DownloadRequest& request) {
       request_chunk(request.originator, chunk, request.is_upload);
     }
   }
+  if (flow_sim_) flow_sim_->commit();
   policy_->on_step_end(ctx_);
   if (config_.amortize_each_step) {
     swap_.amortize_tick();
@@ -288,12 +314,31 @@ void Simulation::run(std::size_t files) {
   for (std::size_t f = 0; f < files; ++f) step();
   FAIRSWAP_LOG(kInfo, "core") << "simulated " << files << " files, "
                               << totals_.chunk_requests << " chunk requests, "
-                              << totals_.total_transmissions << " transmissions";
+                              << totals_.total_transmissions
+                              << " transmissions";
+}
+
+void Simulation::finish_flows() {
+  if (!flow_sim_) return;
+  flow_sim_->drain();
+  const net::FlowReport report = flow_sim_->report();
+  totals_.flows_started = report.started;
+  totals_.flows_completed = report.completed;
+  totals_.flows_timed_out = report.timed_out;
+  totals_.saturated_links = report.saturated_links;
+  totals_.flow_makespan = report.makespan;
+  totals_.fct_p50 = report.fct_p50;
+  totals_.fct_p90 = report.fct_p90;
+  totals_.fct_p99 = report.fct_p99;
+  totals_.fct_mean = report.fct_mean;
+  totals_.max_link_utilization = report.max_link_utilization;
 }
 
 std::vector<std::uint64_t> Simulation::served_per_node() const {
   std::vector<std::uint64_t> out(counters_.size());
-  for (std::size_t i = 0; i < counters_.size(); ++i) out[i] = counters_[i].chunks_served;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out[i] = counters_[i].chunks_served;
+  }
   return out;
 }
 

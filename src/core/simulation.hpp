@@ -18,10 +18,15 @@
 #include "accounting/pricing.hpp"
 #include "common/rng.hpp"
 #include "incentives/policy.hpp"
+#include "net/flow.hpp"
 #include "overlay/forwarding.hpp"
 #include "overlay/topology.hpp"
 #include "storage/store.hpp"
 #include "workload/download_generator.hpp"
+
+namespace fairswap::net {
+class FlowSimulator;
+}
 
 namespace fairswap::core {
 
@@ -59,6 +64,16 @@ struct SimulationConfig {
   /// Hop cap per route; 0 = the default 4x address bits. Routes cut by the
   /// cap count as truncated_routes, not failed_routes.
   std::size_t max_route_hops{0};
+  /// Simulate every delivered chunk as a finite-rate flow over link
+  /// capacities (net/flow_sim) instead of an instantaneous transfer.
+  /// Accounting is unaffected — routes, counters, SWAP debits and
+  /// settlements stay bit-identical to the counter-based default
+  /// (tests/net/flow_equivalence_test.cpp); the flow layer adds the
+  /// temporal outputs in SimulationTotals (FCT percentiles, link
+  /// utilization, timeouts) that are otherwise zero.
+  bool flow_level{false};
+  /// Link capacities and timing of the flow layer (used when flow_level).
+  net::FlowConfig flow{};
 };
 
 /// Per-node activity counters.
@@ -103,7 +118,25 @@ struct SimulationTotals {
   /// bandwidth overhead measure of the §V extension.
   std::uint64_t total_transmissions{0};
 
-  friend bool operator==(const SimulationTotals&, const SimulationTotals&) = default;
+  // --- flow-level temporal outputs (all zero unless flow_level) ---------
+  /// Flows started == delivered chunks that crossed at least one hop.
+  std::uint64_t flows_started{0};
+  std::uint64_t flows_completed{0};
+  std::uint64_t flows_timed_out{0};
+  /// Links that were a binding max-min bottleneck at any point.
+  std::uint64_t saturated_links{0};
+  /// Tick of the last flow completion or timeout.
+  std::uint64_t flow_makespan{0};
+  /// Flow-completion-time percentiles and mean, in ticks.
+  double fct_p50{0.0};
+  double fct_p90{0.0};
+  double fct_p99{0.0};
+  double fct_mean{0.0};
+  /// max over links of delivered volume / (capacity * makespan).
+  double max_link_utilization{0.0};
+
+  friend bool operator==(const SimulationTotals&,
+                         const SimulationTotals&) = default;
 };
 
 /// A running simulation over a shared topology. The topology must outlive
@@ -119,6 +152,7 @@ class Simulation {
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();  // out-of-line: FlowSimulator is incomplete here
 
   /// Executes one step == one file download (paper §IV-A).
   void step();
@@ -159,13 +193,21 @@ class Simulation {
   void set_behavior(std::span<const std::uint8_t> free_ride,
                     bool refuse_service = false);
 
-  [[nodiscard]] const overlay::Topology& topology() const noexcept { return *topo_; }
-  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const overlay::Topology& topology() const noexcept {
+    return *topo_;
+  }
+  [[nodiscard]] const SimulationConfig& config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] const std::vector<NodeCounters>& counters() const noexcept {
     return counters_;
   }
-  [[nodiscard]] const SimulationTotals& totals() const noexcept { return totals_; }
-  [[nodiscard]] const accounting::Ledger& swap() const noexcept { return swap_; }
+  [[nodiscard]] const SimulationTotals& totals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] const accounting::Ledger& swap() const noexcept {
+    return swap_;
+  }
   [[nodiscard]] accounting::Ledger& swap() noexcept { return swap_; }
   [[nodiscard]] const incentives::PaymentPolicy& policy() const noexcept {
     return *policy_;
@@ -188,8 +230,20 @@ class Simulation {
   [[nodiscard]] workload::DownloadGenerator& generator_mut() noexcept {
     return *generator_;
   }
-  [[nodiscard]] const std::vector<storage::ChunkStore>& stores() const noexcept {
+  [[nodiscard]] const std::vector<storage::ChunkStore>& stores()
+      const noexcept {
     return stores_;
+  }
+
+  /// Drains the flow layer (every in-flight transfer completes or times
+  /// out) and folds its report into totals(). Call once after the last
+  /// step/apply of a flow-level run — run_experiment does. Idempotent; a
+  /// no-op on counter-based runs.
+  void finish_flows();
+
+  /// The flow layer, or nullptr on counter-based runs.
+  [[nodiscard]] const net::FlowSimulator* flow_simulator() const noexcept {
+    return flow_sim_.get();
   }
 
   /// Per-node chunks served, as a dense vector (Fig. 4 series).
@@ -238,6 +292,8 @@ class Simulation {
   /// Empty unless injected — the zero-cost default for classic runs.
   std::vector<std::uint8_t> refuse_service_;
   SimulationTotals totals_;
+  /// The flow-level temporal layer; null unless config_.flow_level.
+  std::unique_ptr<net::FlowSimulator> flow_sim_;
   incentives::PolicyContext ctx_;
   /// Reused per-request path buffer; the hot path must not allocate.
   overlay::Route route_;

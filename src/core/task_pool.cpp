@@ -73,7 +73,8 @@ void TaskPool::worker_loop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      wake_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
     }
@@ -87,7 +88,8 @@ void TaskPool::worker_loop() {
 
 void TaskPool::drain_current_job() {
   for (;;) {
-    const std::size_t begin = next_.fetch_add(grain_, std::memory_order_relaxed);
+    const std::size_t begin =
+        next_.fetch_add(grain_, std::memory_order_relaxed);
     if (begin >= count_) return;
     const std::size_t end = std::min(begin + grain_, count_);
     for (std::size_t i = begin; i < end; ++i) {

@@ -41,7 +41,8 @@ class TaskPool {
   /// pool in chunks of `grain`. Blocks until all indices completed. If any
   /// invocation throws, the first exception is rethrown on the caller
   /// after the loop drains (remaining indices still run).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
  private:

@@ -31,10 +31,12 @@ struct Block {
   std::string label;
   /// Policies read state, write signals. All policies of a block see the
   /// same pre-block state.
-  std::vector<std::function<void(const State&, std::uint64_t timestep, Signals&)>>
+  std::vector<
+      std::function<void(const State&, std::uint64_t timestep, Signals&)>>
       policies;
   /// Updaters consume the block's signals and advance the state, in order.
-  std::vector<std::function<void(State&, const Signals&, std::uint64_t timestep)>>
+  std::vector<
+      std::function<void(State&, const Signals&, std::uint64_t timestep)>>
       updaters;
 };
 
@@ -58,7 +60,9 @@ class Engine {
     return *this;
   }
 
-  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
 
   /// Runs `timesteps` steps over `state`, mutating it in place, and
   /// returns the number of block executions performed.

@@ -173,11 +173,14 @@ BindingTable::BindingTable() {
         c.topology.buckets.k_bucket0 = static_cast<std::size_t>(*p);
         return {};
       },
-      +[](const Cfg& c) { return std::to_string(c.topology.buckets.k_bucket0); });
+      +[](const Cfg& c) {
+        return std::to_string(c.topology.buckets.k_bucket0);
+      });
 
   add("neighborhood_connect", "also connect full Swarm neighborhoods",
       +[](Cfg& c, const std::string& v) {
-        return set_bool(c.topology.neighborhood_connect, "neighborhood_connect", v);
+        return set_bool(c.topology.neighborhood_connect,
+                        "neighborhood_connect", v);
       },
       +[](const Cfg& c) {
         return std::string(c.topology.neighborhood_connect ? "true" : "false");
@@ -269,7 +272,9 @@ BindingTable::BindingTable() {
         c.sim.workload.catalog_size = static_cast<std::size_t>(*p);
         return {};
       },
-      +[](const Cfg& c) { return std::to_string(c.sim.workload.catalog_size); });
+      +[](const Cfg& c) {
+        return std::to_string(c.sim.workload.catalog_size);
+      });
 
   add("catalog_zipf", "Zipf exponent over the catalog",
       +[](Cfg& c, const std::string& v) -> std::string {
@@ -375,6 +380,45 @@ BindingTable::BindingTable() {
         return {};
       },
       +[](const Cfg& c) { return std::to_string(c.sim.max_route_hops); });
+
+  // --- flow-level bandwidth simulation (src/net/flow_sim) ----------------
+
+  add("flow_level", "simulate transfers as max-min fair flows over links",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.sim.flow_level, "flow_level", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.sim.flow_level ? "true" : "false");
+      });
+
+  add("link_capacity", "per-edge link capacity in chunks per tick (> 0)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("link_capacity", v, "a number");
+        if (!(*p > 0.0)) return "link_capacity: must be positive";
+        c.sim.flow.link_capacity = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return format_double(c.sim.flow.link_capacity); });
+
+  add("flow_interarrival", "ticks between file arrivals (>= 1)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("flow_interarrival", v, "a tick count");
+        if (*p < 1) return "flow_interarrival: must be at least 1";
+        c.sim.flow.interarrival = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.flow.interarrival); });
+
+  add("flow_timeout", "ticks before an unfinished flow is abandoned (0 = off)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("flow_timeout", v, "a tick count");
+        c.sim.flow.timeout = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.flow.timeout); });
 
   // --- strategic-agents epoch game (src/agents) --------------------------
 

@@ -138,7 +138,8 @@ int scenario_table1(ScenarioContext& ctx) {
   TextTable table({"configuration", "paper", "measured", "measured/paper"});
   std::ostringstream csv_text;
   CsvWriter csv(csv_text);
-  csv.cells("k", "originator_share", "paper_avg_forwarded", "measured_avg_forwarded");
+  csv.cells("k", "originator_share", "paper_avg_forwarded",
+            "measured_avg_forwarded");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     const double paper = kPaperTable1[i / 2][i % 2];
@@ -308,6 +309,7 @@ void register_builtin_scenarios() {
                   "multi-seed error bars for the paper grid (seeds=N)",
                   2'000, &scenario_variance, {"seeds"}});
     register_agent_scenarios();
+    register_flow_scenarios();
     return true;
   }();
   (void)registered;

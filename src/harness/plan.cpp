@@ -26,7 +26,7 @@ std::string assignment_label(
 
 /// The per-(run, seed) scalars run_plan keeps — everything MetricStats
 /// folds, nothing per-node. Must stay in sync with fold_cell/add_cell.
-using Cell = std::array<double, 14>;
+using Cell = std::array<double, 19>;
 
 Cell extract(const core::ExperimentResult& r) {
   return Cell{r.fairness.gini_f2,
@@ -42,6 +42,11 @@ Cell extract(const core::ExperimentResult& r) {
               static_cast<double>(r.totals.failed_routes),
               static_cast<double>(r.totals.truncated_routes),
               static_cast<double>(r.cache_serves),
+              r.totals.fct_p50,
+              r.totals.fct_p99,
+              r.totals.fct_mean,
+              static_cast<double>(r.totals.flows_timed_out),
+              static_cast<double>(r.totals.saturated_links),
               r.runtime_seconds};
 }
 
@@ -59,7 +64,12 @@ void fold_cell(MetricStats& stats, const Cell& cell) {
   stats.failed_routes.add(cell[10]);
   stats.truncated_routes.add(cell[11]);
   stats.cache_serves.add(cell[12]);
-  stats.runtime_s.add(cell[13]);
+  stats.fct_p50.add(cell[13]);
+  stats.fct_p99.add(cell[14]);
+  stats.fct_mean.add(cell[15]);
+  stats.flows_timed_out.add(cell[16]);
+  stats.saturated_links.add(cell[17]);
+  stats.runtime_s.add(cell[18]);
 }
 
 }  // namespace

@@ -65,8 +65,8 @@ int run_scenario(const std::string& name, int argc, char** argv,
     }
   }
 
-  ctx.files = ctx.args.get_or("files",
-                              static_cast<std::uint64_t>(scenario->default_files));
+  ctx.files = ctx.args.get_or(
+      "files", static_cast<std::uint64_t>(scenario->default_files));
   ctx.seed = ctx.args.get_or("seed", kDefaultSeed);
   ctx.out_dir = ctx.args.get_or("out", std::string{"bench_out"});
   ctx.threads =

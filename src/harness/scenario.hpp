@@ -75,6 +75,10 @@ void register_builtin_scenarios();
 /// agent_scenarios.cpp).
 void register_agent_scenarios();
 
+/// The flow-level half of register_builtin_scenarios (harness/
+/// flow_scenarios.cpp): flow_fct.
+void register_flow_scenarios();
+
 /// Parses argv into a ScenarioContext (surfacing Config::last_error() as
 /// a hard error, not a silent default) and runs the named scenario.
 /// Returns the scenario's exit code, or 2 on unknown scenario / malformed

@@ -49,6 +49,11 @@ struct MetricStats {
   RunningStats failed_routes;
   RunningStats truncated_routes;
   RunningStats cache_serves;
+  RunningStats fct_p50;
+  RunningStats fct_p99;
+  RunningStats fct_mean;
+  RunningStats flows_timed_out;
+  RunningStats saturated_links;
   RunningStats runtime_s;
 
   /// Visits every metric as (name, stats), in the fixed schema order the
@@ -68,6 +73,11 @@ struct MetricStats {
     fn("failed_routes", failed_routes);
     fn("truncated_routes", truncated_routes);
     fn("cache_serves", cache_serves);
+    fn("fct_p50", fct_p50);
+    fn("fct_p99", fct_p99);
+    fn("fct_mean", fct_mean);
+    fn("flows_timed_out", flows_timed_out);
+    fn("saturated_links", saturated_links);
     fn("runtime_s", runtime_s);
   }
 };

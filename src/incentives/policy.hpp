@@ -117,6 +117,7 @@ class PaymentPolicy {
 /// Factory by name: "zero-proximity", "per-hop-swap", "tit-for-tat",
 /// "effort-based", "none" (the incentive-ablated network: chunks move,
 /// no accounting at all). Unknown names return nullptr.
-[[nodiscard]] std::unique_ptr<PaymentPolicy> make_policy(const std::string& name);
+[[nodiscard]] std::unique_ptr<PaymentPolicy> make_policy(
+    const std::string& name);
 
 }  // namespace fairswap::incentives

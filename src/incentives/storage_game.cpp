@@ -6,9 +6,13 @@
 
 namespace fairswap::incentives {
 
-StorageGame::StorageGame(const overlay::Topology& topo, StorageGameConfig config)
-    : topo_(&topo), config_(config), stakes_(topo.node_count()),
-      rewards_(topo.node_count()), faithful_(topo.node_count(), 1) {
+StorageGame::StorageGame(const overlay::Topology& topo,
+                         StorageGameConfig config)
+    : topo_(&topo),
+      config_(config),
+      stakes_(topo.node_count()),
+      rewards_(topo.node_count()),
+      faithful_(topo.node_count(), 1) {
   assert(config_.depth >= 0 && config_.depth <= topo.space().bits());
 }
 
@@ -24,7 +28,8 @@ void StorageGame::set_faithful(NodeIndex n, bool faithful) {
 std::vector<NodeIndex> StorageGame::neighborhood(Address anchor) const {
   std::vector<NodeIndex> members;
   for (NodeIndex n = 0; n < topo_->node_count(); ++n) {
-    if (topo_->space().proximity(topo_->address_of(n), anchor) >= config_.depth) {
+    if (topo_->space().proximity(topo_->address_of(n), anchor) >=
+        config_.depth) {
       members.push_back(n);
     }
   }

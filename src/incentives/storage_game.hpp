@@ -79,15 +79,23 @@ class StorageGame {
   std::size_t play(std::size_t rounds, Rng& rng);
 
   /// Cumulative storage rewards per node.
-  [[nodiscard]] const std::vector<Token>& rewards() const noexcept { return rewards_; }
+  [[nodiscard]] const std::vector<Token>& rewards() const noexcept {
+    return rewards_;
+  }
   /// Rewards as doubles (for the Gini helpers).
   [[nodiscard]] std::vector<double> rewards_double() const;
 
   [[nodiscard]] std::uint64_t rounds_played() const noexcept { return rounds_; }
-  [[nodiscard]] std::uint64_t rounds_paid() const noexcept { return paid_rounds_; }
-  [[nodiscard]] std::uint64_t proofs_failed() const noexcept { return proofs_failed_; }
+  [[nodiscard]] std::uint64_t rounds_paid() const noexcept {
+    return paid_rounds_;
+  }
+  [[nodiscard]] std::uint64_t proofs_failed() const noexcept {
+    return proofs_failed_;
+  }
   [[nodiscard]] Token carried_pot() const noexcept { return carried_; }
-  [[nodiscard]] const StorageGameConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const StorageGameConfig& config() const noexcept {
+    return config_;
+  }
 
   /// The neighborhood a given anchor selects (all nodes, staked or not).
   [[nodiscard]] std::vector<NodeIndex> neighborhood(Address anchor) const;

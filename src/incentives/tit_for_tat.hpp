@@ -43,7 +43,9 @@ class TitForTatPolicy final : public PaymentPolicy {
   /// returned).
   [[nodiscard]] std::int64_t deficit(NodeIndex a, NodeIndex b) const;
 
-  [[nodiscard]] std::uint64_t choked_deliveries() const noexcept { return choked_; }
+  [[nodiscard]] std::uint64_t choked_deliveries() const noexcept {
+    return choked_;
+  }
 
  private:
   // Same packed-key hazard as SwapNetwork::pair_key: guard the width.

@@ -1,0 +1,137 @@
+// Max-min fair bandwidth sharing over capacity links — the flow-level
+// counterpart of the counter-based Simulation ("make time and congestion
+// real", ROADMAP).
+//
+// FairShareNetwork holds a fixed set of capacity links and a changing set
+// of flows, each flow crossing a subset of the links. allocate() computes
+// the max-min fair rate vector by progressive filling (water-filling):
+// every unfrozen flow's rate rises uniformly until some link saturates or
+// some flow hits its own rate cap; flows bottlenecked there freeze at the
+// current water level and the rest keep rising. The implementation is
+// careful to be *insertion-order invariant at full floating-point
+// precision*: all per-link arithmetic runs over aggregate loads (integer
+// flow counts), links are visited in sorted id order, and bottlenecks are
+// detected by exact identity with the computed water-level increment
+// rather than epsilon comparisons — two networks holding the same flow
+// set allocate bit-identical rates regardless of the order the flows were
+// added (tests/net/flow_allocator_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "engine/event_queue.hpp"
+
+namespace fairswap::net {
+
+/// Index of a capacity link inside a FairShareNetwork.
+using LinkId = std::uint32_t;
+
+/// Slot index of a flow inside a FairShareNetwork. Slots are recycled
+/// after remove_flow; FlowSimulator layers generation counters on top.
+using FlowId = std::uint32_t;
+
+/// Flow-level simulation parameters (SimulationConfig::flow).
+struct FlowConfig {
+  /// Capacity of each overlay routing-table edge, in chunks per tick.
+  double link_capacity{0.05};
+  /// Per-node uplink / downlink capacity in chunks per tick; 0 selects
+  /// the default of 4x link_capacity (a node serves several table edges).
+  double up_capacity{0.0};
+  double down_capacity{0.0};
+  /// Ticks between consecutive file arrivals (file i arrives at time
+  /// i * interarrival).
+  engine::SimTime interarrival{50};
+  /// Flows still unfinished this many ticks after start are abandoned and
+  /// counted as timed out; 0 disables timeouts. Timeouts are a temporal
+  /// statistic only — accounting already happened at request time.
+  engine::SimTime timeout{0};
+
+  friend bool operator==(const FlowConfig&, const FlowConfig&) = default;
+};
+
+/// Capacity links + active flows + the max-min fair allocator.
+class FairShareNetwork {
+ public:
+  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+  /// Adds a link of the given capacity (>= 0) and returns its id. Links
+  /// are never removed.
+  LinkId add_link(double capacity);
+
+  /// Adds a flow crossing `links` (duplicates are deduplicated), with an
+  /// optional per-flow rate cap. A flow must cross at least one link or
+  /// carry a finite cap, otherwise no bottleneck could ever freeze it.
+  /// Returns the flow's slot id. The new flow's rate is 0 until the next
+  /// allocate().
+  FlowId add_flow(std::span<const LinkId> links, double rate_cap = kUncapped);
+
+  /// Removes an active flow; its slot is recycled by a later add_flow.
+  void remove_flow(FlowId flow);
+
+  /// Recomputes the max-min fair rate of every active flow.
+  void allocate();
+
+  /// Drops all flows and clears saturation history; links stay.
+  void clear_flows();
+
+  [[nodiscard]] double rate(FlowId flow) const { return flows_[flow].rate; }
+  [[nodiscard]] bool is_active(FlowId flow) const {
+    return flow < flows_.size() && flows_[flow].active;
+  }
+  [[nodiscard]] const std::vector<LinkId>& flow_links(FlowId flow) const {
+    return flows_[flow].links;
+  }
+  /// Active flow slots in ascending order — the canonical iteration order
+  /// everything deterministic hangs off.
+  [[nodiscard]] const std::vector<FlowId>& active_flows() const noexcept {
+    return active_;
+  }
+
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return capacity_.size();
+  }
+  [[nodiscard]] double link_capacity(LinkId link) const {
+    return capacity_[link];
+  }
+  /// True if `link` was a binding bottleneck in the last allocate(). The
+  /// epoch stamp guards against stale state: a link whose flows have all
+  /// since been removed is not saturated, it is idle.
+  [[nodiscard]] bool link_saturated(LinkId link) const {
+    return stamp_[link] == epoch_ && saturated_[link] != 0;
+  }
+  /// Number of links that were saturated in *any* allocate() since the
+  /// last clear_flows() — the congestion-footprint statistic.
+  [[nodiscard]] std::size_t ever_saturated_count() const noexcept {
+    return ever_saturated_count_;
+  }
+
+ private:
+  struct Flow {
+    std::vector<LinkId> links;  ///< sorted, unique
+    double cap{kUncapped};
+    double rate{0.0};
+    bool active{false};
+  };
+
+  std::vector<double> capacity_;
+  std::vector<Flow> flows_;
+  std::vector<FlowId> free_slots_;
+  std::vector<FlowId> active_;  ///< sorted ascending
+
+  // allocate() scratch, sized to link_count and reused across calls; only
+  // links crossed by active flows are touched (epoch-stamped).
+  std::vector<double> residual_;
+  std::vector<std::uint32_t> load_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint8_t> saturated_;
+  std::vector<std::uint8_t> ever_saturated_;
+  std::vector<LinkId> touched_;
+  std::vector<std::uint8_t> frozen_;  ///< parallel to active_
+  std::uint32_t epoch_{0};
+  std::size_t ever_saturated_count_{0};
+};
+
+}  // namespace fairswap::net

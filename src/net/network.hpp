@@ -77,8 +77,12 @@ class Network {
   [[nodiscard]] const std::vector<NodeTraffic>& traffic() const noexcept {
     return traffic_;
   }
-  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_; }
-  [[nodiscard]] const overlay::Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] const overlay::Topology& topology() const noexcept {
+    return *topo_;
+  }
 
  private:
   struct PendingRequest {

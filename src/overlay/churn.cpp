@@ -49,7 +49,8 @@ void DynamicOverlay::rebuild_index() const {
   for (NodeIndex n = 0; n < node_count(); ++n) {
     if (alive_[n]) alive_addresses.push_back(topo_.address_of(n));
   }
-  alive_index_.emplace(topo_.space(), std::span<const Address>(alive_addresses));
+  alive_index_.emplace(topo_.space(),
+                       std::span<const Address>(alive_addresses));
   index_dirty_ = false;
 }
 
@@ -66,7 +67,8 @@ Route DynamicOverlay::route(NodeIndex origin, Address target) const {
   if (!alive_[origin]) return r;  // dead originators issue nothing
 
   const NodeIndex storer = closest_alive(target);
-  const std::size_t max_hops = static_cast<std::size_t>(topo_.space().bits()) * 4;
+  const std::size_t max_hops =
+      static_cast<std::size_t>(topo_.space().bits()) * 4;
   NodeIndex cur = origin;
   while (cur != storer) {
     if (r.hops() >= max_hops) {
@@ -112,7 +114,8 @@ std::size_t DynamicOverlay::repair(NodeIndex n, Rng& rng) {
   for (NodeIndex j = 0; j < node_count(); ++j) {
     if (j == n || !alive_[j]) continue;
     const Address a = topo_.address_of(j);
-    candidates[static_cast<std::size_t>(space.bucket_index(self, a))].push_back(a);
+    candidates[static_cast<std::size_t>(space.bucket_index(self, a))]
+        .push_back(a);
   }
 
   // Rebuild the table: keep alive entries, then fill gaps randomly.

@@ -36,9 +36,15 @@ class DynamicOverlay {
   explicit DynamicOverlay(Topology topo);
 
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
-  [[nodiscard]] std::size_t node_count() const noexcept { return topo_.node_count(); }
-  [[nodiscard]] bool alive(NodeIndex n) const noexcept { return alive_[n] != 0; }
-  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return topo_.node_count();
+  }
+  [[nodiscard]] bool alive(NodeIndex n) const noexcept {
+    return alive_[n] != 0;
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    return alive_count_;
+  }
   [[nodiscard]] const ChurnStats& stats() const noexcept { return stats_; }
 
   /// Marks a node failed. Its table entries elsewhere remain until

@@ -76,14 +76,16 @@ class CompiledRouter {
   /// Bit-identical to RoutingTable::next_hop resolved through
   /// Topology::index_of. Defined inline below: this is the per-hop inner
   /// loop of every simulation and must inline into the walk.
-  [[nodiscard]] NodeIndex next_hop(NodeIndex from, Address target) const noexcept {
+  [[nodiscard]] NodeIndex next_hop(NodeIndex from,
+                                   Address target) const noexcept {
     return next_hop_edge(from, target).next;
   }
 
   /// next_hop plus the arena edge id of the step taken. The edge id is a
   /// byproduct of the argmin the scan computes anyway, so this costs
   /// nothing over next_hop.
-  [[nodiscard]] Hop next_hop_edge(NodeIndex from, Address target) const noexcept;
+  [[nodiscard]] Hop next_hop_edge(NodeIndex from,
+                                  Address target) const noexcept;
 
   /// The node storing content at `target` (globally XOR-closest node).
   [[nodiscard]] NodeIndex storer_of(Address target) const noexcept {
@@ -131,16 +133,22 @@ class CompiledRouter {
 
   /// Number of directed edges in the CSR peer arena (== the sum of all
   /// routing-table sizes). Valid edge ids are [0, edge_count).
-  [[nodiscard]] std::size_t edge_count() const noexcept { return peer_idx_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return peer_idx_.size();
+  }
 
   /// Target node of a directed arena edge (kForeignPeer for stale /
   /// poisoned table entries).
-  [[nodiscard]] NodeIndex edge_target(EdgeId e) const noexcept { return peer_idx_[e]; }
+  [[nodiscard]] NodeIndex edge_target(EdgeId e) const noexcept {
+    return peer_idx_[e];
+  }
 
   /// Half-open range of arena edge ids whose source is `node` (its slab).
-  [[nodiscard]] std::pair<EdgeId, EdgeId> node_edge_range(NodeIndex node) const noexcept {
-    return {offsets_[static_cast<std::size_t>(node) * static_cast<std::size_t>(bits_)],
-            offsets_[(static_cast<std::size_t>(node) + 1) * static_cast<std::size_t>(bits_)]};
+  [[nodiscard]] std::pair<EdgeId, EdgeId> node_edge_range(
+      NodeIndex node) const noexcept {
+    const std::size_t row =
+        static_cast<std::size_t>(node) * static_cast<std::size_t>(bits_);
+    return {offsets_[row], offsets_[row + static_cast<std::size_t>(bits_)]};
   }
 
  private:
@@ -175,7 +183,8 @@ inline CompiledRouter::Hop CompiledRouter::next_hop_edge(
   const std::size_t cell = static_cast<std::size_t>(from) *
                                static_cast<std::size_t>(bits_) +
                            static_cast<std::size_t>(bucket);
-  const std::uint32_t slab_begin = offsets_[cell - static_cast<std::size_t>(bucket)];
+  const std::uint32_t slab_begin =
+      offsets_[cell - static_cast<std::size_t>(bucket)];
   const std::uint32_t slab_end =
       offsets_[cell - static_cast<std::size_t>(bucket) +
                static_cast<std::size_t>(bits_)];

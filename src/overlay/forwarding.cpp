@@ -2,7 +2,8 @@
 
 namespace fairswap::overlay {
 
-ForwardingRouter::ForwardingRouter(const Topology& topo, std::size_t max_hops) noexcept
+ForwardingRouter::ForwardingRouter(const Topology& topo,
+                                   std::size_t max_hops) noexcept
     : topo_(&topo),
       max_hops_(max_hops == 0
                     ? static_cast<std::size_t>(topo.space().bits()) * 4

@@ -81,7 +81,8 @@ class ForwardingRouter {
   /// `max_hops` bounds route length; 4x the address bits is far beyond any
   /// reachable route (each hop increases the shared prefix), so hitting it
   /// indicates a broken table and is flagged via Route::truncated.
-  explicit ForwardingRouter(const Topology& topo, std::size_t max_hops = 0) noexcept;
+  explicit ForwardingRouter(const Topology& topo,
+                            std::size_t max_hops = 0) noexcept;
 
   /// Routes from `origin` toward `target`, stopping at the storer (global
   /// closest node) or at a local minimum of the greedy walk.

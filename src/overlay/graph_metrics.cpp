@@ -19,7 +19,9 @@ RoutingQuality measure_routing(const Topology& topo, Rng& rng,
     if (r.reached_storer) ++q.reached;
     if (r.truncated) ++q.truncated;
     q.hop_stats.add(static_cast<double>(r.hops()));
-    if (q.hop_histogram.size() <= r.hops()) q.hop_histogram.resize(r.hops() + 1, 0);
+    if (q.hop_histogram.size() <= r.hops()) {
+      q.hop_histogram.resize(r.hops() + 1, 0);
+    }
     ++q.hop_histogram[r.hops()];
   }
   return q;

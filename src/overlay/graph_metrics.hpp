@@ -22,7 +22,9 @@ struct RoutingQuality {
   std::vector<std::uint64_t> hop_histogram;  ///< index = hop count
 
   [[nodiscard]] double success_rate() const noexcept {
-    return samples ? static_cast<double>(reached) / static_cast<double>(samples) : 0.0;
+    return samples
+               ? static_cast<double>(reached) / static_cast<double>(samples)
+               : 0.0;
   }
 };
 

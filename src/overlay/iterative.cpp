@@ -5,10 +5,12 @@
 
 namespace fairswap::overlay {
 
-IterativeLookup::IterativeLookup(const Topology& topo, IterativeConfig config) noexcept
+IterativeLookup::IterativeLookup(const Topology& topo,
+                                 IterativeConfig config) noexcept
     : topo_(&topo), config_(config) {}
 
-LookupResult IterativeLookup::lookup(NodeIndex requester, Address target) const {
+LookupResult IterativeLookup::lookup(NodeIndex requester,
+                                     Address target) const {
   LookupResult result;
   const NodeIndex storer = topo_->closest_node(target);
 
@@ -23,7 +25,8 @@ LookupResult IterativeLookup::lookup(NodeIndex requester, Address target) const 
 
   // Shortlist seeded from the requester's own table.
   std::vector<NodeIndex> shortlist;
-  for (const Address a : topo_->table(requester).closest_peers(target, config_.shortlist)) {
+  for (const Address a :
+       topo_->table(requester).closest_peers(target, config_.shortlist)) {
     shortlist.push_back(*topo_->index_of(a));
   }
   std::sort(shortlist.begin(), shortlist.end(), closer);
@@ -59,7 +62,9 @@ LookupResult IterativeLookup::lookup(NodeIndex requester, Address target) const 
       }
     }
     std::sort(shortlist.begin(), shortlist.end(), closer);
-    if (shortlist.size() > config_.shortlist) shortlist.resize(config_.shortlist);
+    if (shortlist.size() > config_.shortlist) {
+      shortlist.resize(config_.shortlist);
+    }
   }
 
   // The best node seen, including the requester itself.

@@ -49,7 +49,9 @@ class IterativeLookup {
 
   [[nodiscard]] LookupResult lookup(NodeIndex requester, Address target) const;
 
-  [[nodiscard]] const IterativeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const IterativeConfig& config() const noexcept {
+    return config_;
+  }
 
  private:
   const Topology* topo_;

@@ -6,8 +6,11 @@
 
 namespace fairswap::overlay {
 
-RoutingTable::RoutingTable(AddressSpace space, Address self, BucketPolicy policy)
-    : space_(space), self_(self), policy_(policy),
+RoutingTable::RoutingTable(AddressSpace space, Address self,
+                           BucketPolicy policy)
+    : space_(space),
+      self_(self),
+      policy_(policy),
       buckets_(static_cast<std::size_t>(space.bits())) {
   assert(space_.contains(self));
 }
@@ -17,7 +20,9 @@ bool RoutingTable::try_add(Address peer) {
   const auto b = static_cast<std::size_t>(space_.bucket_index(self_, peer));
   auto& bucket = buckets_[b];
   if (bucket.size() >= policy_.capacity(static_cast<int>(b))) return false;
-  if (std::find(bucket.begin(), bucket.end(), peer) != bucket.end()) return false;
+  if (std::find(bucket.begin(), bucket.end(), peer) != bucket.end()) {
+    return false;
+  }
   bucket.push_back(peer);
   return true;
 }
@@ -45,7 +50,8 @@ std::size_t RoutingTable::size() const noexcept {
   return total;
 }
 
-std::optional<Address> RoutingTable::closest_peer(Address target) const noexcept {
+std::optional<Address> RoutingTable::closest_peer(
+    Address target) const noexcept {
   std::optional<Address> best;
   AddressValue best_dist = 0;
   for (const auto& bucket : buckets_) {
@@ -65,7 +71,8 @@ std::optional<Address> RoutingTable::next_hop(Address target) const noexcept {
   const int first_diff = space_.bucket_index(self_, target);
 
   // Closest peer within one bucket (ties toward the smaller address).
-  auto best_in = [&](const std::vector<Address>& bucket) -> std::optional<Address> {
+  auto best_in =
+      [&](const std::vector<Address>& bucket) -> std::optional<Address> {
     std::optional<Address> best;
     AddressValue best_dist = 0;
     for (Address peer : bucket) {
@@ -80,7 +87,8 @@ std::optional<Address> RoutingTable::next_hop(Address target) const noexcept {
 
   // Peers in the first-differing bucket match the target at that bit and
   // are strictly closer than self and than peers of every other bucket.
-  if (const auto hit = best_in(buckets_[static_cast<std::size_t>(first_diff)])) {
+  if (const auto hit =
+          best_in(buckets_[static_cast<std::size_t>(first_diff)])) {
     return hit;
   }
 
@@ -100,10 +108,13 @@ std::optional<Address> RoutingTable::next_hop(Address target) const noexcept {
   return best;
 }
 
-std::optional<Address> RoutingTable::next_hop_naive(Address target) const noexcept {
+std::optional<Address> RoutingTable::next_hop_naive(
+    Address target) const noexcept {
   const auto best = closest_peer(target);
   if (!best) return std::nullopt;
-  if (xor_distance(*best, target) >= xor_distance(self_, target)) return std::nullopt;
+  if (xor_distance(*best, target) >= xor_distance(self_, target)) {
+    return std::nullopt;
+  }
   return best;
 }
 

@@ -69,7 +69,8 @@ class RoutingTable {
   /// The peer in this table strictly closest (XOR) to `target`, excluding
   /// self. Returns nullopt for an empty table. Ties are broken toward the
   /// numerically smaller address so routing is deterministic.
-  [[nodiscard]] std::optional<Address> closest_peer(Address target) const noexcept;
+  [[nodiscard]] std::optional<Address> closest_peer(
+      Address target) const noexcept;
 
   /// Like closest_peer but only returns a peer that is strictly closer to
   /// `target` than this table's owner — the forwarding-Kademlia step.
@@ -85,7 +86,8 @@ class RoutingTable {
 
   /// Reference implementation of next_hop (full linear scan). Used by the
   /// property tests that validate the pruned fast path.
-  [[nodiscard]] std::optional<Address> next_hop_naive(Address target) const noexcept;
+  [[nodiscard]] std::optional<Address> next_hop_naive(
+      Address target) const noexcept;
 
   /// Up to `count` table peers closest to `target`, ascending by distance.
   /// Used by the iterative-lookup baseline.
@@ -96,7 +98,8 @@ class RoutingTable {
   /// buckets deeper than d hold fewer than `min_peers` peers. Swarm defines
   /// the neighborhood as "the proximity at which the node cannot connect
   /// to at least four other nodes" (paper §III-A).
-  [[nodiscard]] int neighborhood_depth(std::size_t min_peers = 4) const noexcept;
+  [[nodiscard]] int neighborhood_depth(
+      std::size_t min_peers = 4) const noexcept;
 
   /// All peers across all buckets (bucket order; used for audits/metrics).
   [[nodiscard]] std::vector<Address> all_peers() const;

@@ -61,7 +61,9 @@ Topology::Topology(TopologyConfig config, AddressSpace space)
 
 Topology Topology::build(const TopologyConfig& config, Rng& rng) {
   AddressSpace space(config.address_bits);
-  if (config.node_count == 0) throw std::invalid_argument("node_count must be > 0");
+  if (config.node_count == 0) {
+    throw std::invalid_argument("node_count must be > 0");
+  }
   if (config.node_count > space.size()) {
     throw std::invalid_argument("node_count exceeds address-space size");
   }

@@ -77,7 +77,8 @@ struct TopologyConfig {
 
   /// Equal configs build equal topologies from equal seeds — what lets the
   /// experiment harness share one built topology across a sweep group.
-  friend bool operator==(const TopologyConfig&, const TopologyConfig&) = default;
+  friend bool operator==(const TopologyConfig&,
+                         const TopologyConfig&) = default;
 };
 
 /// An immutable overlay: addresses, routing tables, and the closest-node
@@ -88,14 +89,24 @@ class Topology {
   /// drawn from `rng`, so equal seeds give identical networks.
   static Topology build(const TopologyConfig& config, Rng& rng);
 
-  [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const TopologyConfig& config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] const AddressSpace& space() const noexcept { return space_; }
-  [[nodiscard]] std::size_t node_count() const noexcept { return addresses_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return addresses_.size();
+  }
 
-  [[nodiscard]] Address address_of(NodeIndex n) const noexcept { return addresses_[n]; }
+  [[nodiscard]] Address address_of(NodeIndex n) const noexcept {
+    return addresses_[n];
+  }
   [[nodiscard]] std::optional<NodeIndex> index_of(Address a) const noexcept;
-  [[nodiscard]] const RoutingTable& table(NodeIndex n) const noexcept { return tables_[n]; }
-  [[nodiscard]] std::span<const Address> addresses() const noexcept { return addresses_; }
+  [[nodiscard]] const RoutingTable& table(NodeIndex n) const noexcept {
+    return tables_[n];
+  }
+  [[nodiscard]] std::span<const Address> addresses() const noexcept {
+    return addresses_;
+  }
 
   /// The node that stores content at `target` (globally XOR-closest node).
   [[nodiscard]] NodeIndex closest_node(Address target) const noexcept;
@@ -109,7 +120,8 @@ class Topology {
   /// must keep one arena snapshot alive and self-consistent (edge ids
   /// index into a specific arena) across a potential inject_table_entry
   /// recompile — core::Simulation pins its snapshot through this.
-  [[nodiscard]] std::shared_ptr<const CompiledRouter> compiled_shared() const noexcept {
+  [[nodiscard]] std::shared_ptr<const CompiledRouter> compiled_shared()
+      const noexcept {
     return compiled_;
   }
 

@@ -26,7 +26,8 @@ BmtProof bmt_prove(std::span<const std::uint8_t> payload, std::uint64_t span,
 
   // Materialize the padded leaf level.
   std::array<Digest, kBranches> level{};
-  const std::size_t len = payload.size() < kChunkSize ? payload.size() : kChunkSize;
+  const std::size_t len =
+      payload.size() < kChunkSize ? payload.size() : kChunkSize;
   for (std::size_t seg = 0; seg < kBranches; ++seg) {
     const std::size_t off = seg * kRefSize;
     if (off < len) {

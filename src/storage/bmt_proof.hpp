@@ -40,6 +40,7 @@ inline constexpr std::size_t kBmtProofDepth = 7;
 /// Verifies a proof against a chunk address (as produced by
 /// bmt_chunk_address). False on wrong segment data, wrong position,
 /// wrong span, or malformed sibling path.
-[[nodiscard]] bool bmt_verify(const Digest& chunk_address, const BmtProof& proof);
+[[nodiscard]] bool bmt_verify(const Digest& chunk_address,
+                              const BmtProof& proof);
 
 }  // namespace fairswap::storage

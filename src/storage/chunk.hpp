@@ -31,7 +31,9 @@ class Chunk {
   /// Builds a leaf (data) chunk; span == payload size.
   [[nodiscard]] static Chunk data_chunk(std::vector<std::uint8_t> payload);
 
-  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept { return payload_; }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return payload_;
+  }
   [[nodiscard]] std::uint64_t span() const noexcept { return span_; }
   [[nodiscard]] std::size_t size() const noexcept { return payload_.size(); }
 
@@ -53,6 +55,7 @@ class Chunk {
 
 /// Projects any 32-byte digest onto an overlay address space (top bits,
 /// big-endian byte order).
-[[nodiscard]] Address digest_to_overlay(const Digest& d, const AddressSpace& space);
+[[nodiscard]] Address digest_to_overlay(const Digest& d,
+                                        const AddressSpace& space);
 
 }  // namespace fairswap::storage

@@ -30,8 +30,9 @@ ChunkTree chunk_data(std::span<const std::uint8_t> data) {
   } else {
     for (std::size_t off = 0; off < data.size(); off += kChunkSize) {
       const std::size_t take = std::min(kChunkSize, data.size() - off);
-      std::vector<std::uint8_t> payload(data.begin() + static_cast<std::ptrdiff_t>(off),
-                                        data.begin() + static_cast<std::ptrdiff_t>(off + take));
+      std::vector<std::uint8_t> payload(
+          data.begin() + static_cast<std::ptrdiff_t>(off),
+          data.begin() + static_cast<std::ptrdiff_t>(off + take));
       tree.chunks.push_back(Chunk::data_chunk(std::move(payload)));
     }
   }

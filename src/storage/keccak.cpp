@@ -88,8 +88,10 @@ void Keccak256::permute() noexcept {
     // Theta.
     std::uint64_t c[5];
     for (int x = 0; x < 5; ++x) {
-      c[x] = a[static_cast<std::size_t>(x)] ^ a[static_cast<std::size_t>(x + 5)] ^
-             a[static_cast<std::size_t>(x + 10)] ^ a[static_cast<std::size_t>(x + 15)] ^
+      c[x] = a[static_cast<std::size_t>(x)] ^
+             a[static_cast<std::size_t>(x + 5)] ^
+             a[static_cast<std::size_t>(x + 10)] ^
+             a[static_cast<std::size_t>(x + 15)] ^
              a[static_cast<std::size_t>(x + 20)];
     }
     for (int x = 0; x < 5; ++x) {

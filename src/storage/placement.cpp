@@ -4,7 +4,8 @@
 
 namespace fairswap::storage {
 
-Placement::Placement(const overlay::Topology& topo, PlacementConfig config) noexcept
+Placement::Placement(const overlay::Topology& topo,
+                     PlacementConfig config) noexcept
     : topo_(&topo), config_(config) {}
 
 overlay::NodeIndex Placement::primary(Address chunk) const noexcept {
@@ -15,8 +16,10 @@ std::vector<overlay::NodeIndex> Placement::storers(Address chunk) const {
   std::vector<overlay::NodeIndex> nodes(topo_->node_count());
   for (overlay::NodeIndex i = 0; i < nodes.size(); ++i) nodes[i] = i;
   const std::size_t r = std::min(config_.redundancy, nodes.size());
-  std::partial_sort(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(r),
-                    nodes.end(), [&](overlay::NodeIndex a, overlay::NodeIndex b) {
+  std::partial_sort(nodes.begin(),
+                    nodes.begin() + static_cast<std::ptrdiff_t>(r),
+                    nodes.end(),
+                    [&](overlay::NodeIndex a, overlay::NodeIndex b) {
                       const auto da = xor_distance(topo_->address_of(a), chunk);
                       const auto db = xor_distance(topo_->address_of(b), chunk);
                       return da != db ? da < db : a < b;

@@ -35,7 +35,9 @@ class Placement {
   /// True if `node` is among the storers of `chunk`.
   [[nodiscard]] bool is_storer(overlay::NodeIndex node, Address chunk) const;
 
-  [[nodiscard]] const PlacementConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const PlacementConfig& config() const noexcept {
+    return config_;
+  }
 
   /// Distribution analysis: how many distinct chunks (from a uniform
   /// census over the whole address space) each node is primary storer of.

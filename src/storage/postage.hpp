@@ -34,8 +34,12 @@ struct Batch {
   [[nodiscard]] std::uint64_t capacity() const noexcept {
     return std::uint64_t{1} << depth;
   }
-  [[nodiscard]] bool exhausted() const noexcept { return stamped >= capacity(); }
-  [[nodiscard]] bool expired() const noexcept { return remaining_value.is_zero(); }
+  [[nodiscard]] bool exhausted() const noexcept {
+    return stamped >= capacity();
+  }
+  [[nodiscard]] bool expired() const noexcept {
+    return remaining_value.is_zero();
+  }
 };
 
 /// A stamp attached to one uploaded chunk.
@@ -54,7 +58,8 @@ class PostageOffice {
 
   /// Purchases a batch; total cost = 2^depth * value_per_chunk (tracked in
   /// total_purchased()). Returns its id.
-  BatchId buy_batch(std::uint32_t owner, std::uint8_t depth, Token value_per_chunk);
+  BatchId buy_batch(std::uint32_t owner, std::uint8_t depth,
+                    Token value_per_chunk);
 
   /// Stamps a chunk from the batch. Fails (nullopt) if the batch is
   /// unknown, exhausted, or expired.
@@ -73,7 +78,9 @@ class PostageOffice {
   Token collect_pot();
 
   [[nodiscard]] const Batch* find(BatchId id) const;
-  [[nodiscard]] std::size_t batch_count() const noexcept { return batches_.size(); }
+  [[nodiscard]] std::size_t batch_count() const noexcept {
+    return batches_.size();
+  }
   [[nodiscard]] Token pot() const noexcept { return pot_; }
   [[nodiscard]] Token total_purchased() const noexcept { return purchased_; }
 

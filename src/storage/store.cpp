@@ -2,7 +2,8 @@
 
 namespace fairswap::storage {
 
-ChunkStore::ChunkStore(std::size_t cache_capacity) : capacity_(cache_capacity) {}
+ChunkStore::ChunkStore(std::size_t cache_capacity)
+    : capacity_(cache_capacity) {}
 
 void ChunkStore::store_authoritative(Address chunk) {
   owned_.emplace(chunk, 0);

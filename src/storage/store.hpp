@@ -49,9 +49,15 @@ class ChunkStore {
   /// Availability check without touching counters or recency.
   [[nodiscard]] bool contains(Address chunk) const;
 
-  [[nodiscard]] std::size_t authoritative_count() const noexcept { return owned_.size(); }
-  [[nodiscard]] std::size_t cached_count() const noexcept { return lru_map_.size(); }
-  [[nodiscard]] std::size_t cache_capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t authoritative_count() const noexcept {
+    return owned_.size();
+  }
+  [[nodiscard]] std::size_t cached_count() const noexcept {
+    return lru_map_.size();
+  }
+  [[nodiscard]] std::size_t cache_capacity() const noexcept {
+    return capacity_;
+  }
   [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
 
  private:

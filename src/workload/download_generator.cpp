@@ -24,7 +24,8 @@ DownloadGenerator::DownloadGenerator(const overlay::Topology& topo,
   std::sort(originators_.begin(), originators_.end());
 
   if (config_.originator_zipf_alpha > 0.0) {
-    originator_zipf_.emplace(originators_.size(), config_.originator_zipf_alpha);
+    originator_zipf_.emplace(originators_.size(),
+                             config_.originator_zipf_alpha);
   }
 
   if (config_.catalog_size > 0) {

@@ -66,20 +66,26 @@ class DownloadGenerator {
   /// once at construction from `rng`; subsequent requests consume the same
   /// stream, so a (topology, config, seed) triple fully determines the
   /// workload.
-  DownloadGenerator(const overlay::Topology& topo, WorkloadConfig config, Rng rng);
+  DownloadGenerator(const overlay::Topology& topo, WorkloadConfig config,
+                    Rng rng);
 
   /// Produces the next file download.
   [[nodiscard]] DownloadRequest next();
 
-  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const WorkloadConfig& config() const noexcept {
+    return config_;
+  }
 
   /// The nodes eligible to originate (size = ceil(share * node_count)).
-  [[nodiscard]] const std::vector<NodeIndex>& eligible_originators() const noexcept {
+  [[nodiscard]] const std::vector<NodeIndex>& eligible_originators()
+      const noexcept {
     return originators_;
   }
 
   /// The fixed catalog (empty when catalog_size == 0).
-  [[nodiscard]] const std::vector<Address>& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const std::vector<Address>& catalog() const noexcept {
+    return catalog_;
+  }
 
  private:
   const overlay::Topology* topo_;

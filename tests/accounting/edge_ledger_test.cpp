@@ -33,7 +33,8 @@ class EdgeLedgerFixture : public ::testing::Test {
     cfg.address_bits = 10;
     cfg.buckets.k = 4;
     Rng rng(7);
-    topo_ = std::make_unique<overlay::Topology>(overlay::Topology::build(cfg, rng));
+    topo_ = std::make_unique<overlay::Topology>(
+        overlay::Topology::build(cfg, rng));
     router_ = &topo_->compiled();
   }
 
@@ -162,7 +163,8 @@ TEST_F(EdgeLedgerFixture, ForEachPairVisitsOnlyNonzeroBalances) {
   const EdgeId e0 = first_edge_of(1);
   const EdgeId e1 = first_edge_of(30);
   (void)ledger.debit(1, router_->edge_target(e0), Token(10), false, e0);
-  (void)ledger.debit(30, router_->edge_target(e1), Token(120), true, e1);  // settles
+  // settles
+  (void)ledger.debit(30, router_->edge_target(e1), Token(120), true, e1);
   int visited = 0;
   ledger.for_each_pair([&](NodeIndex lo, NodeIndex hi, Token bal) {
     ++visited;
@@ -176,7 +178,8 @@ TEST_F(EdgeLedgerFixture, UnconnectedPairDebitThrowsBalanceReadsZero) {
   EdgeLedger ledger(*router_, small_config());
   const auto [a, b] = unconnected_pair();
   EXPECT_TRUE(ledger.balance(a, b).is_zero());
-  EXPECT_THROW((void)ledger.debit(a, b, Token(1), false), std::invalid_argument);
+  EXPECT_THROW((void)ledger.debit(a, b, Token(1), false),
+               std::invalid_argument);
 }
 
 TEST_F(EdgeLedgerFixture, PayDirectAndMintDoNotTouchBalances) {

@@ -68,7 +68,8 @@ void expect_identical(const SwapNetwork& map, const EdgeLedger& edge,
   EXPECT_EQ(map_pairs, edge_pairs) << when;
 
   for (const DirectedEdge& de : directed_edges(topo)) {
-    ASSERT_EQ(map.balance(de.to, de.from), edge.balance(de.to, de.from, de.edge))
+    ASSERT_EQ(map.balance(de.to, de.from),
+              edge.balance(de.to, de.from, de.edge))
         << when << " edge " << de.from << "->" << de.to;
   }
 }

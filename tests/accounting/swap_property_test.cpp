@@ -32,11 +32,13 @@ TEST_P(SwapFuzz, MirrorInvariantUnderRandomOperations) {
     switch (rng.next_below(4)) {
       case 0:
       case 1:
-        (void)net.debit(a, b, Token(static_cast<Token::rep>(rng.next_below(20))),
+        (void)net.debit(a, b,
+                        Token(static_cast<Token::rep>(rng.next_below(20))),
                         rng.chance(0.5));
         break;
       case 2:
-        net.pay_direct(a, b, Token(static_cast<Token::rep>(rng.next_below(20))));
+        net.pay_direct(a, b,
+                       Token(static_cast<Token::rep>(rng.next_below(20))));
         break;
       case 3:
         net.amortize_tick();

@@ -108,7 +108,8 @@ TEST(Swap, AmortizationMovesBalancesTowardZero) {
 
 TEST(Swap, AmortizationWorksOnNegativeBalances) {
   SwapNetwork net(2, small_config());
-  (void)net.debit(1, 0, Token(15), false);  // provider 0: +15 -> from 1's side -15
+  // provider 0: +15 -> from 1's side -15
+  (void)net.debit(1, 0, Token(15), false);
   net.amortize_tick();
   EXPECT_EQ(net.balance(0, 1), Token(5));
   net.amortize_tick();

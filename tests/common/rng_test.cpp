@@ -196,7 +196,8 @@ TEST(ZipfSampler, SingleItemAlwaysRankZero) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
 }
 
-class RngDistributionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+class RngDistributionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RngDistributionProperty, NextBelowIsRoughlyUniform) {
   Rng rng(GetParam());

@@ -94,14 +94,16 @@ void expect_identical(const AggregateResult& a, const AggregateResult& b) {
 TEST(MultiRunParallel, BitIdenticalAcrossThreadCounts) {
   const auto cfg = tiny_config();
   const auto serial = run_seeds(cfg, 6);
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     const auto parallel = run_seeds(cfg, 6, threads);
     expect_identical(serial, parallel);
   }
 }
 
 TEST(MultiRunParallel, ExplicitSeedListBitIdentical) {
-  const std::vector<std::uint64_t> seeds{42, 7, 1234, 9, 42};  // order + dupes kept
+  // order + dupes kept
+  const std::vector<std::uint64_t> seeds{42, 7, 1234, 9, 42};
   const auto cfg = tiny_config();
   const auto serial = run_seeds(cfg, seeds);
   const auto parallel = run_seeds(cfg, seeds, 4);

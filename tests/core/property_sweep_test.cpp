@@ -24,7 +24,8 @@ class SimulationInvariants : public ::testing::TestWithParam<Param> {
     tcfg.address_bits = 13;
     tcfg.buckets.k = k;
     Rng trng(seed);
-    topo_ = std::make_unique<overlay::Topology>(overlay::Topology::build(tcfg, trng));
+    topo_ = std::make_unique<overlay::Topology>(
+        overlay::Topology::build(tcfg, trng));
 
     SimulationConfig cfg;
     cfg.workload.min_chunks_per_file = 20;

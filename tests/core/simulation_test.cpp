@@ -56,7 +56,8 @@ TEST(Simulation, TransmissionsMatchPerNodeCounters) {
   Simulation sim(topo, fast_config(), Rng(5));
   sim.run(30);
   const auto served = sim.served_per_node();
-  const auto total = std::accumulate(served.begin(), served.end(), std::uint64_t{0});
+  const auto total =
+      std::accumulate(served.begin(), served.end(), std::uint64_t{0});
   EXPECT_EQ(total, sim.totals().total_transmissions);
 }
 
@@ -131,7 +132,8 @@ TEST(Simulation, AmortizationDrainsRelayDebt) {
 }
 
 TEST(Simulation, LocalHitsNeitherPayNorTransmit) {
-  const auto topo = make_topology(30, 4, 12);  // tiny net -> frequent local hits
+  // tiny net -> frequent local hits
+  const auto topo = make_topology(30, 4, 12);
   auto cfg = fast_config();
   Simulation sim(topo, cfg, Rng(12));
   sim.run(50);
@@ -150,7 +152,8 @@ TEST(Simulation, TraceReplayMatchesGeneratedRun) {
   Rng root(13);
   Rng workload_rng = root.split(1);
   workload::DownloadGenerator gen(topo, cfg.workload, workload_rng);
-  Simulation replayed(topo, cfg, Rng(99));  // different seed: ignored by apply()
+  // different seed: ignored by apply()
+  Simulation replayed(topo, cfg, Rng(99));
   for (int i = 0; i < 10; ++i) {
     recorded.step();
     replayed.apply(gen.next());
@@ -165,7 +168,8 @@ TEST(Simulation, FreeRiderShareMarksNodes) {
   cfg.free_rider_share = 0.25;
   Simulation sim(topo, cfg, Rng(14));
   const auto& riders = sim.free_riders();
-  const auto count = std::accumulate(riders.begin(), riders.end(), std::size_t{0});
+  const auto count =
+      std::accumulate(riders.begin(), riders.end(), std::size_t{0});
   EXPECT_EQ(count, topo.node_count() / 4);
 }
 

@@ -20,12 +20,14 @@ TEST(Engine, RunsBlocksInOrderEachTimestep) {
   CounterEngine engine;
   engine.add_block({.label = "first",
                     .policies = {},
-                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                    .updaters = {[](CounterState& s, const Signals&,
+                                    std::uint64_t) {
                       s.log.push_back("a");
                     }}});
   engine.add_block({.label = "second",
                     .policies = {},
-                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                    .updaters = {[](CounterState& s, const Signals&,
+                                    std::uint64_t) {
                       s.log.push_back("b");
                     }}});
   CounterState state;
@@ -108,7 +110,8 @@ TEST(Engine, HooksObserveEveryTimestepAndFinish) {
   CounterEngine engine;
   engine.add_block({.label = "inc",
                     .policies = {},
-                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                    .updaters = {[](CounterState& s, const Signals&,
+                                    std::uint64_t) {
                       ++s.value;
                     }}});
   std::vector<int> snapshots;
@@ -131,7 +134,8 @@ TEST(Engine, ZeroTimestepsIsNoop) {
   CounterEngine engine;
   engine.add_block({.label = "inc",
                     .policies = {},
-                    .updaters = {[](CounterState& s, const Signals&, std::uint64_t) {
+                    .updaters = {[](CounterState& s, const Signals&,
+                                    std::uint64_t) {
                       ++s.value;
                     }}});
   CounterState state;

@@ -21,7 +21,8 @@ class PolicyFixture : public ::testing::Test {
     cfg.address_bits = 10;
     cfg.buckets.k = 4;
     Rng rng(1);
-    topo_ = std::make_unique<overlay::Topology>(overlay::Topology::build(cfg, rng));
+    topo_ = std::make_unique<overlay::Topology>(
+        overlay::Topology::build(cfg, rng));
 
     SwapConfig swap_cfg;
     swap_cfg.payment_threshold = Token(1'000'000);

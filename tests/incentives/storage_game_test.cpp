@@ -8,7 +8,8 @@
 namespace fairswap::incentives {
 namespace {
 
-overlay::Topology make_topology(std::size_t nodes = 200, std::uint64_t seed = 1) {
+overlay::Topology make_topology(std::size_t nodes = 200,
+                                std::uint64_t seed = 1) {
   overlay::TopologyConfig cfg;
   cfg.node_count = nodes;
   cfg.address_bits = 12;

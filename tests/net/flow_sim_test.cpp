@@ -1,0 +1,238 @@
+// FlowSimulator unit tests: exact completion times under max-min sharing,
+// timeouts, reset, and EventQueue-driven determinism (completion order
+// independent of batch insertion order — there is no hash-map iteration
+// anywhere in the flow layer to leak container order into results).
+#include "net/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/topology.hpp"
+
+namespace fairswap::net {
+namespace {
+
+using overlay::NodeIndex;
+
+overlay::Topology make_topology(std::size_t nodes, std::size_t k,
+                                std::uint64_t seed, int bits = 10) {
+  overlay::TopologyConfig cfg;
+  cfg.node_count = nodes;
+  cfg.address_bits = bits;
+  cfg.buckets.k = k;
+  Rng rng(seed);
+  return overlay::Topology::build(cfg, rng);
+}
+
+/// A delivered multi-hop route on the topology (tries random chunks until
+/// one leaves its originator).
+overlay::Route multi_hop_route(const overlay::Topology& topo, Rng& rng) {
+  const auto& router = topo.compiled();
+  for (;;) {
+    const auto origin = static_cast<NodeIndex>(rng.index(topo.node_count()));
+    const Address chunk{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    overlay::Route route = router.route(origin, chunk);
+    if (route.reached_storer && route.hops() >= 1) return route;
+  }
+}
+
+TEST(FlowSimulator, SoloFlowRunsAtTheEdgeLinkRate) {
+  const auto topo = make_topology(64, 4, 1);
+  Rng rng(7);
+  const auto route = multi_hop_route(topo, rng);
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.1;  // narrowest link class -> rate 0.1, FCT 10
+  FlowSimulator sim(topo.compiled(), topo.node_count(), cfg);
+  sim.start_chunk(route, /*is_upload=*/false);
+  sim.commit();
+  sim.drain();
+
+  const FlowReport report = sim.report();
+  EXPECT_EQ(report.started, 1u);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.timed_out, 0u);
+  ASSERT_EQ(sim.fct_samples().size(), 1u);
+  EXPECT_EQ(sim.fct_samples()[0], 10u);
+  EXPECT_EQ(report.makespan, 10u);
+  EXPECT_DOUBLE_EQ(report.fct_p50, 10.0);
+}
+
+TEST(FlowSimulator, TwoFlowsOnTheSameRouteHalveTheRate) {
+  const auto topo = make_topology(64, 4, 1);
+  Rng rng(7);
+  const auto route = multi_hop_route(topo, rng);
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.1;
+  FlowSimulator sim(topo.compiled(), topo.node_count(), cfg);
+  sim.start_chunk(route, false);
+  sim.start_chunk(route, false);
+  sim.commit();
+  sim.drain();
+
+  const FlowReport report = sim.report();
+  EXPECT_EQ(report.completed, 2u);
+  // Both flows share every link: rate 0.05 each, 20 ticks.
+  for (const auto fct : sim.fct_samples()) EXPECT_EQ(fct, 20u);
+  EXPECT_GT(report.saturated_links, 0u);
+}
+
+TEST(FlowSimulator, StaggeredArrivalRebalancesInFlight) {
+  const auto topo = make_topology(64, 4, 1);
+  Rng rng(7);
+  const auto route = multi_hop_route(topo, rng);
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.1;
+  FlowSimulator sim(topo.compiled(), topo.node_count(), cfg);
+  sim.start_chunk(route, false);
+  sim.commit();
+  // Flow 1 alone on [0, 5): transfers 0.5. Flow 2 arrives at t=5; both
+  // run at 0.05 until flow 1 empties at t=15; flow 2's last 0.5 then
+  // drains at 0.1 by t=20. FCTs: 15 and 20-5 = 15.
+  sim.advance_to(5);
+  sim.start_chunk(route, false);
+  sim.commit();
+  sim.drain();
+
+  ASSERT_EQ(sim.fct_samples().size(), 2u);
+  EXPECT_EQ(sim.fct_samples()[0], 15u);
+  EXPECT_EQ(sim.fct_samples()[1], 15u);
+  EXPECT_EQ(sim.report().makespan, 20u);
+}
+
+TEST(FlowSimulator, TimeoutAbandonsUnfinishedFlows) {
+  const auto topo = make_topology(64, 4, 1);
+  Rng rng(7);
+  const auto route = multi_hop_route(topo, rng);
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.1;  // solo FCT would be 10
+  cfg.timeout = 5;
+  FlowSimulator sim(topo.compiled(), topo.node_count(), cfg);
+  sim.start_chunk(route, false);
+  sim.commit();
+  sim.drain();
+
+  const FlowReport report = sim.report();
+  EXPECT_EQ(report.started, 1u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.timed_out, 1u);
+  EXPECT_EQ(report.makespan, 5u);
+  // The abandoned half-transfer still counts toward link volume, but
+  // utilization can never exceed 1.
+  EXPECT_GT(report.max_link_utilization, 0.0);
+  EXPECT_LE(report.max_link_utilization, 1.0 + 1e-9);
+}
+
+TEST(FlowSimulator, UploadsLoadTheOppositeDirection) {
+  const auto topo = make_topology(64, 4, 1);
+  Rng rng(7);
+  const auto route = multi_hop_route(topo, rng);
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.1;
+  // Same path, opposite data direction: the temporal outcome of a solo
+  // transfer is identical, only which up/down links carried it differs.
+  FlowSimulator down(topo.compiled(), topo.node_count(), cfg);
+  down.start_chunk(route, /*is_upload=*/false);
+  down.commit();
+  down.drain();
+  FlowSimulator up(topo.compiled(), topo.node_count(), cfg);
+  up.start_chunk(route, /*is_upload=*/true);
+  up.commit();
+  up.drain();
+
+  EXPECT_EQ(down.fct_samples(), up.fct_samples());
+}
+
+TEST(FlowSimulator, ResetReproducesTheRunExactly) {
+  const auto topo = make_topology(64, 4, 2);
+  Rng rng(11);
+  const auto a = multi_hop_route(topo, rng);
+  const auto b = multi_hop_route(topo, rng);
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.07;
+  cfg.timeout = 40;
+  FlowSimulator sim(topo.compiled(), topo.node_count(), cfg);
+  const auto run = [&] {
+    sim.start_chunk(a, false);
+    sim.start_chunk(b, false);
+    sim.commit();
+    sim.advance_to(3);
+    sim.start_chunk(a, true);
+    sim.commit();
+    sim.drain();
+    return sim.fct_samples();
+  };
+  const auto first = run();
+  const auto report_first = sim.report();
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.report().started, 0u);
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(report_first.makespan, sim.report().makespan);
+  EXPECT_EQ(report_first.saturated_links, sim.report().saturated_links);
+  EXPECT_DOUBLE_EQ(report_first.max_link_utilization,
+                   sim.report().max_link_utilization);
+}
+
+TEST(FlowSimulator, CompletionOrderIndependentOfBatchInsertionOrder) {
+  const auto topo = make_topology(128, 4, 3);
+  Rng rng(23);
+  std::vector<overlay::Route> routes;
+  for (int i = 0; i < 24; ++i) routes.push_back(multi_hop_route(topo, rng));
+
+  FlowConfig cfg;
+  cfg.link_capacity = 0.05;
+
+  FlowSimulator forward(topo.compiled(), topo.node_count(), cfg);
+  for (const auto& r : routes) forward.start_chunk(r, false);
+  forward.commit();
+  forward.drain();
+
+  FlowSimulator reversed(topo.compiled(), topo.node_count(), cfg);
+  for (auto it = routes.rbegin(); it != routes.rend(); ++it) {
+    reversed.start_chunk(*it, false);
+  }
+  reversed.commit();
+  reversed.drain();
+
+  // The max-min allocation is insertion-order invariant and completions
+  // are swept in deterministic slot order, so the two runs agree on the
+  // full FCT distribution and every aggregate.
+  auto a = forward.fct_samples();
+  auto b = reversed.fct_samples();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(forward.report().makespan, reversed.report().makespan);
+  EXPECT_EQ(forward.report().saturated_links,
+            reversed.report().saturated_links);
+  EXPECT_DOUBLE_EQ(forward.report().max_link_utilization,
+                   reversed.report().max_link_utilization);
+}
+
+TEST(FlowSimulator, RejectsLocalHitsAndFailedRoutes) {
+  const auto topo = make_topology(64, 4, 1);
+  FlowConfig cfg;
+  FlowSimulator sim(topo.compiled(), topo.node_count(), cfg);
+  overlay::Route local;
+  local.path = {NodeIndex{3}};
+  local.reached_storer = true;
+  EXPECT_THROW(sim.start_chunk(local, false), std::invalid_argument);
+  overlay::Route failed;
+  failed.path = {NodeIndex{3}, NodeIndex{4}};
+  failed.reached_storer = false;
+  EXPECT_THROW(sim.start_chunk(failed, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairswap::net

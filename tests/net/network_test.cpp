@@ -202,7 +202,8 @@ TEST(Network, RunUntilAllowsPartialProgress) {
   Address chunk{};
   for (;;) {
     origin = static_cast<overlay::NodeIndex>(rng.index(topo.node_count()));
-    chunk = Address{static_cast<AddressValue>(rng.next_below(topo.space().size()))};
+    chunk = Address{
+        static_cast<AddressValue>(rng.next_below(topo.space().size()))};
     if (topo.closest_node(chunk) != origin) break;
   }
   net.retrieve(origin, chunk, [&](const RetrievalResult&) { done = true; });

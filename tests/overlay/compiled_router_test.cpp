@@ -28,8 +28,8 @@ Topology make_topology(std::size_t nodes, std::size_t k, std::uint64_t seed,
 
 /// The reference answer: the pruned table walk resolved through index_of,
 /// failing (nullopt) on a dead end or an address outside the network.
-std::optional<NodeIndex> reference_next_hop(const Topology& topo, NodeIndex from,
-                                            Address target) {
+std::optional<NodeIndex> reference_next_hop(const Topology& topo,
+                                            NodeIndex from, Address target) {
   const auto peer = topo.table(from).next_hop(target);
   if (!peer) return std::nullopt;
   return topo.index_of(*peer);
@@ -217,7 +217,8 @@ TEST(CompiledRouter, ForeignTableEntryFailsRouteInsteadOfUB) {
   const auto b = compiled.route(injection->node, injection->foreign);
   expect_same_route(a, b, "foreign entry");
   EXPECT_FALSE(a.reached_storer);
-  EXPECT_EQ(a.terminal(), injection->node) << "walk must stop at the stale entry";
+  EXPECT_EQ(a.terminal(), injection->node)
+      << "walk must stop at the stale entry";
 
   // Every other route in the poisoned topology still matches.
   Rng rng(707);

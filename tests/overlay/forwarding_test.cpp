@@ -143,7 +143,8 @@ TEST(Forwarding, LargerKGivesShorterRoutes) {
   const int samples = 1000;
   for (int i = 0; i < samples; ++i) {
     const auto origin = static_cast<NodeIndex>(rng.index(400));
-    const Address chunk{static_cast<AddressValue>(rng.next_below(k4.space().size()))};
+    const Address chunk{
+        static_cast<AddressValue>(rng.next_below(k4.space().size()))};
     hops4 += static_cast<double>(r4.route(origin, chunk).hops());
     hops20 += static_cast<double>(r20.route(origin, chunk).hops());
   }

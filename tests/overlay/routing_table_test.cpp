@@ -156,10 +156,12 @@ TEST_P(NextHopEquivalence, FastPathMatchesNaiveScan) {
     const Address self{static_cast<AddressValue>(rng.next_below(space.size()))};
     RoutingTable t(space, self, BucketPolicy{.k = 4});
     for (int p = 0; p < 60; ++p) {
-      t.try_add(Address{static_cast<AddressValue>(rng.next_below(space.size()))});
+      t.try_add(
+          Address{static_cast<AddressValue>(rng.next_below(space.size()))});
     }
     for (int q = 0; q < 50; ++q) {
-      const Address target{static_cast<AddressValue>(rng.next_below(space.size()))};
+      const Address target{
+          static_cast<AddressValue>(rng.next_below(space.size()))};
       const auto fast = t.next_hop(target);
       const auto naive = t.next_hop_naive(target);
       ASSERT_EQ(fast.has_value(), naive.has_value())
@@ -181,7 +183,8 @@ TEST_P(NextHopEquivalence, NextHopAlwaysStrictlyCloser) {
     t.try_add(Address{static_cast<AddressValue>(rng.next_below(space.size()))});
   }
   for (int q = 0; q < 200; ++q) {
-    const Address target{static_cast<AddressValue>(rng.next_below(space.size()))};
+    const Address target{
+        static_cast<AddressValue>(rng.next_below(space.size()))};
     if (const auto hop = t.next_hop(target)) {
       EXPECT_LT(xor_distance(*hop, target), xor_distance(self, target));
     }

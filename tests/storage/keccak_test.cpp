@@ -47,10 +47,13 @@ TEST(Keccak256, RateBoundaryInputs) {
   // and one-shot must agree at every length.
   for (std::size_t len : {135u, 136u, 137u, 271u, 272u, 273u}) {
     std::vector<std::uint8_t> data(len);
-    for (std::size_t i = 0; i < len; ++i) data[i] = static_cast<std::uint8_t>(i);
+    for (std::size_t i = 0; i < len; ++i) {
+      data[i] = static_cast<std::uint8_t>(i);
+    }
     Keccak256 h;
     h.update(std::span<const std::uint8_t>(data.data(), len / 2));
-    h.update(std::span<const std::uint8_t>(data.data() + len / 2, len - len / 2));
+    h.update(
+        std::span<const std::uint8_t>(data.data() + len / 2, len - len / 2));
     EXPECT_EQ(h.finalize(), keccak256(data)) << "len " << len;
   }
 }

@@ -73,7 +73,8 @@ TEST(Placement, LoadCensusCoversWholeSpace) {
   const auto topo = make_topology(50, 6);
   const Placement p(topo, {});
   const auto load = p.primary_load_census();
-  const auto total = std::accumulate(load.begin(), load.end(), std::uint64_t{0});
+  const auto total =
+      std::accumulate(load.begin(), load.end(), std::uint64_t{0});
   EXPECT_EQ(total, topo.space().size());
 }
 

@@ -10,7 +10,8 @@
 namespace fairswap::workload {
 namespace {
 
-overlay::Topology make_topology(std::size_t nodes = 100, std::uint64_t seed = 1) {
+overlay::Topology make_topology(std::size_t nodes = 100,
+                                std::uint64_t seed = 1) {
   overlay::TopologyConfig cfg;
   cfg.node_count = nodes;
   cfg.address_bits = 12;
@@ -125,7 +126,9 @@ TEST(DownloadGenerator, ZipfOriginatorsAreSkewed) {
   std::map<NodeIndex, int> counts;
   for (int i = 0; i < 5000; ++i) ++counts[gen.next().originator];
   int max_count = 0;
-  for (const auto& [node, count] : counts) max_count = std::max(max_count, count);
+  for (const auto& [node, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
   // Under uniform selection each node gets ~50; Zipf(1.5) concentrates
   // heavily on the first rank.
   EXPECT_GT(max_count, 500);
