@@ -30,6 +30,8 @@ Token Chequebook::total_issued(NodeIndex beneficiary) const {
 
 Token Chequebook::total_issued() const {
   Token total;
+  // fairswap-lint: allow(unordered-iteration) -- integer sum; Token
+  // addition is associative and commutative, so order cannot show.
   for (const auto& [peer, amount] : totals_) total += amount;
   return total;
 }

@@ -61,6 +61,9 @@ class Chequebook {
 
  private:
   NodeIndex owner_;
+  // fairswap-lint: allow(unordered-container) -- per-beneficiary lookup
+  // only; the sole enumeration is the order-independent sum in
+  // total_issued().
   std::unordered_map<NodeIndex, Token> totals_;
   std::uint64_t next_serial_{1};
 };
@@ -87,6 +90,8 @@ class SettlementChain {
   std::uint64_t transactions_{0};
   Token fees_;
   // (issuer, beneficiary) -> cumulative amount already cashed.
+  // fairswap-lint: allow(unordered-container) -- keyed lookup in cash()
+  // only, never enumerated.
   std::unordered_map<std::uint64_t, Token> cashed_;
 };
 

@@ -172,7 +172,13 @@ Token EdgeLedger::outstanding_debt() const {
 
 void EdgeLedger::for_each_pair(
     const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const {
-  for (const std::uint32_t slot : active_) {
+  // The active list reorders on swap-with-last removal, so its raw order
+  // depends on debit/settle history. Sort the live slots by (lo, hi) —
+  // slots are allocated in ascending (lo, hi) arena order, so sorting the
+  // slot ids is exactly canonical pair order, matching SwapNetwork.
+  std::vector<std::uint32_t> slots(active_.begin(), active_.end());
+  std::sort(slots.begin(), slots.end());
+  for (const std::uint32_t slot : slots) {
     fn(pair_lo_[slot], pair_hi_[slot], pair_balance_[slot]);
   }
 }

@@ -109,8 +109,9 @@ class EdgeLedger {
   }
 
   /// Visits every pair with a nonzero balance as (low_node, high_node,
-  /// balance_from_low's perspective). Visit order is unspecified (the
-  /// active list reorders on removal).
+  /// balance_from_low's perspective), in ascending (lo, hi) order — the
+  /// canonical pair order shared with SwapNetwork::for_each_pair. The
+  /// active list reorders on removal, so the slots are sorted per call.
   void for_each_pair(
       const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/ordered.hpp"
+
 namespace fairswap::accounting {
 
 SwapNetwork::SwapNetwork(std::size_t node_count, SwapConfig config)
@@ -91,6 +93,9 @@ std::size_t SwapNetwork::amortize_tick() {
   const Token step = config_.amortization_per_tick;
   if (step.is_zero()) return 0;
   std::size_t zeroed = 0;
+  // fairswap-lint: allow(unordered-iteration) -- every entry is amortized
+  // independently toward zero; neither the balances nor the zeroed count
+  // depend on visit order.
   for (auto it = balances_.begin(); it != balances_.end();) {
     Token& bal = it->second;
     if (bal.abs() <= step) {
@@ -108,6 +113,8 @@ std::size_t SwapNetwork::amortize_tick() {
 
 Token SwapNetwork::outstanding_debt() const {
   Token total;
+  // fairswap-lint: allow(unordered-iteration) -- integer sum; Token
+  // addition is associative and commutative, so order cannot show.
   for (const auto& [key, bal] : balances_) total += bal.abs();
   return total;
 }
@@ -124,7 +131,11 @@ std::size_t SwapNetwork::memory_bytes() const noexcept {
 
 void SwapNetwork::for_each_pair(
     const std::function<void(NodeIndex, NodeIndex, Token)>& fn) const {
-  for (const auto& [key, bal] : balances_) {
+  // Canonical ascending (lo, hi) order: pair_key packs lo into the high
+  // half, so sorting the packed keys is exactly lexicographic pair order.
+  // Hash-bucket order would leak libstdc++ layout into every consumer
+  // (reports, equivalence diffs), breaking run-to-run determinism.
+  for (const auto& [key, bal] : common::ordered_items(balances_)) {
     const auto lo = static_cast<NodeIndex>(key >> 32);
     const auto hi = static_cast<NodeIndex>(key & 0xffffffffu);
     fn(lo, hi, bal);

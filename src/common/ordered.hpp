@@ -1,0 +1,69 @@
+// Canonical-order iteration over unordered associative containers.
+//
+// The project invariant — results are bit-identical for any threads= —
+// extends to *visit order*: anything that feeds a sink, a total with
+// non-commutative folding, a settlement log, or user-visible report must
+// not depend on hash-bucket layout (which varies with libstdc++ version,
+// insertion history and reserve calls). Unordered containers are fine as
+// lookup structures; the moment their contents are *enumerated* into an
+// output, the enumeration must go through these helpers (or an equivalent
+// explicit sort), in ascending key order.
+//
+// fairswap_lint's `unordered-iteration` rule enforces this: a range-for
+// over an unordered_map/unordered_set member outside this header needs an
+// explicit allow(...) justification comment (e.g. an order-independent
+// integer sum); see docs/STATIC_ANALYSIS.md for the marker syntax.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace fairswap::common {
+
+/// Keys of an associative container, ascending. One allocation + sort;
+/// intended for report/sink paths, not per-route hot loops.
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> ordered_keys(
+    const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  // fairswap-lint: allow(unordered-iteration) -- this is the canonical-order
+  // helper itself: the unordered visit is immediately sorted below.
+  for (const auto& entry : map) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Elements of a set-like container, ascending.
+template <typename Set>
+[[nodiscard]] std::vector<typename Set::key_type> ordered_values(
+    const Set& set) {
+  std::vector<typename Set::key_type> values(set.begin(), set.end());
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+/// (key, value) copies of a map, sorted by key ascending.
+template <typename Map>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+ordered_items(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(map.size());
+  // fairswap-lint: allow(unordered-iteration) -- this is the canonical-order
+  // helper itself: the unordered visit is immediately sorted below.
+  for (const auto& entry : map) items.emplace_back(entry.first, entry.second);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// Visits map entries as fn(key, value) in ascending key order.
+template <typename Map, typename Fn>
+void for_each_ordered(const Map& map, Fn&& fn) {
+  for (const auto& [key, value] : ordered_items(map)) fn(key, value);
+}
+
+}  // namespace fairswap::common

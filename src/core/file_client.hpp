@@ -91,8 +91,12 @@ class FileClient {
   storage::PostageOffice* postage_{nullptr};
   Token postage_value_{Token(1000)};
   /// Content registry: chunk address (hex) -> payload owner file + index.
+  // fairswap-lint: allow(unordered-container) -- content-addressed lookup
+  // by digest only, never enumerated.
   std::unordered_map<std::string, std::vector<std::uint8_t>> registry_;
   /// Root (hex) -> chunk tree, to drive downloads.
+  // fairswap-lint: allow(unordered-container) -- root-digest lookup only,
+  // never enumerated.
   std::unordered_map<std::string, StoredFile> files_;
 };
 

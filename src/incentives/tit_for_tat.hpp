@@ -57,6 +57,8 @@ class TitForTatPolicy final : public PaymentPolicy {
 
   std::int64_t allowance_;
   // Net chunks the lower-indexed node owes the higher-indexed node.
+  // fairswap-lint: allow(unordered-container) -- per-pair lookup in the
+  // choke decision only, never enumerated.
   std::unordered_map<std::uint64_t, std::int64_t> balance_;
   std::uint64_t choked_{0};
 };

@@ -113,8 +113,12 @@ class Network {
   std::uint64_t next_request_id_{1};
 
   /// request_id -> origination state (lives until completion).
+  // fairswap-lint: allow(unordered-container) -- request-id lookup on
+  // message delivery only, never enumerated.
   std::unordered_map<std::uint64_t, RequestState> requests_;
   /// (request_id, node) -> upstream hop, for backward chunk propagation.
+  // fairswap-lint: allow(unordered-container) -- (request, node) lookup
+  // while unwinding one delivery path, never enumerated.
   std::unordered_map<std::uint64_t, std::unordered_map<NodeIndex, NodeIndex>>
       pending_;
 };

@@ -31,7 +31,12 @@ LookupResult IterativeLookup::lookup(NodeIndex requester,
   }
   std::sort(shortlist.begin(), shortlist.end(), closer);
 
+  // fairswap-lint: allow(unordered-container) -- membership tests only;
+  // the shortlist vector (explicitly sorted by XOR distance) carries the
+  // deterministic visit order.
   std::unordered_set<NodeIndex> queried;
+  // fairswap-lint: allow(unordered-container) -- membership test only,
+  // never enumerated.
   std::unordered_set<NodeIndex> known(shortlist.begin(), shortlist.end());
   known.insert(requester);
 

@@ -13,7 +13,7 @@ namespace fairswap::overlay {
 ClosestNodeIndex::ClosestNodeIndex(const AddressSpace& space,
                                    std::span<const Address> nodes)
     : space_(space) {
-  nodes_.push_back(TrieNode{});  // root
+  nodes_.emplace_back();  // root
   leaves_.reserve(nodes.size());
   for (Address a : nodes) insert(a);
 }
@@ -25,7 +25,7 @@ void ClosestNodeIndex::insert(Address a) {
     if (nodes_[static_cast<std::size_t>(cur)].child[b] < 0) {
       nodes_[static_cast<std::size_t>(cur)].child[b] =
           static_cast<std::int32_t>(nodes_.size());
-      nodes_.push_back(TrieNode{});
+      nodes_.emplace_back();
     }
     cur = nodes_[static_cast<std::size_t>(cur)].child[b];
   }
@@ -72,6 +72,8 @@ Topology Topology::build(const TopologyConfig& config, Rng& rng) {
 
   // 1) Unique uniform addresses (rejection sampling; the paper's 1000
   //    nodes in a 65536-slot space reject ~1.5% of draws).
+  // fairswap-lint: allow(unordered-container) -- rejection-sampling dedup;
+  // only insert().second is observed, never enumerated.
   std::unordered_set<AddressValue> seen;
   topo.addresses_.reserve(config.node_count);
   while (topo.addresses_.size() < config.node_count) {

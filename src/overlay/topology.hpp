@@ -146,6 +146,8 @@ class Topology {
   AddressSpace space_;
   std::vector<Address> addresses_;
   std::vector<RoutingTable> tables_;
+  // fairswap-lint: allow(unordered-container) -- address->index lookup for
+  // index_of() only, never enumerated (node order lives in addresses_).
   std::unordered_map<Address, NodeIndex> index_;
   std::optional<ClosestNodeIndex> closest_;
   /// Shared, immutable after build; copies of a Topology share it.

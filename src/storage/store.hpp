@@ -64,8 +64,12 @@ class ChunkStore {
   void touch(std::list<Address>::iterator it);
 
   std::size_t capacity_;
+  // fairswap-lint: allow(unordered-container) -- has()/owns() membership
+  // lookup only; eviction order lives in the lru_ list, not hash order.
   std::unordered_map<Address, char> owned_;
   std::list<Address> lru_;  // front = most recent
+  // fairswap-lint: allow(unordered-container) -- address->LRU-position
+  // lookup only, never enumerated.
   std::unordered_map<Address, std::list<Address>::iterator> lru_map_;
   StoreStats stats_;
 };

@@ -1,0 +1,178 @@
+// Fixture-driven proof that every fairswap_lint rule (a) fires on a
+// violation, (b) passes an allowlisted site, and (c) honors a reasoned
+// allow(...) suppression. The fixtures are mini source trees under
+// tools/fairswap_lint/fixtures/ — the same trees the CTest binary runs
+// cover with exit codes; here the library API pins exact rules and lines.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace fairswap::lint {
+namespace {
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(FAIRSWAP_LINT_FIXTURES) / name;
+}
+
+std::vector<std::string> rules_of(const std::vector<Violation>& vs) {
+  std::vector<std::string> rules;
+  rules.reserve(vs.size());
+  for (const auto& v : vs) rules.push_back(v.rule);
+  return rules;
+}
+
+TEST(LintUnorderedContainer, FiresOnUnjustifiedDeclaration) {
+  const auto vs = lint_tree(fixture("unordered_container_violation"));
+  ASSERT_EQ(vs.size(), 1u) << format(vs.empty() ? Violation{} : vs[0]);
+  EXPECT_EQ(vs[0].rule, "unordered-container");
+  EXPECT_EQ(vs[0].file, "src/core/bad_map.hpp");
+  EXPECT_EQ(vs[0].line, 12u);
+}
+
+TEST(LintUnorderedContainer, ReasonedSuppressionPasses) {
+  EXPECT_TRUE(lint_tree(fixture("unordered_container_suppressed")).empty());
+}
+
+TEST(LintUnorderedIteration, FiresOnRangeForAndBeginWalk) {
+  Options only_iteration;
+  only_iteration.rules = {"unordered-iteration"};
+  const auto vs =
+      lint_tree(fixture("unordered_iteration_violation"), only_iteration);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "unordered-iteration");
+  EXPECT_EQ(vs[0].line, 18u);  // range-for over `totals`
+  EXPECT_EQ(vs[1].rule, "unordered-iteration");
+  EXPECT_EQ(vs[1].line, 24u);  // members.begin() walk
+
+  // The full rule set finds exactly the same two: the declarations are
+  // justified, so no unordered-container noise.
+  EXPECT_EQ(lint_tree(fixture("unordered_iteration_violation")).size(), 2u);
+}
+
+TEST(LintUnorderedIteration, JustifiedIterationPasses) {
+  EXPECT_TRUE(lint_tree(fixture("unordered_iteration_suppressed")).empty());
+}
+
+TEST(LintUnorderedIteration, ResolvesMemberDeclaredInIncludedHeader) {
+  const auto vs = lint_tree(fixture("unordered_iteration_cross_file"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "unordered-iteration");
+  EXPECT_EQ(vs[0].file, "src/core/state.cpp");
+  EXPECT_EQ(vs[0].line, 9u);
+}
+
+TEST(LintRawRandom, FiresOnEveryAdHocEntropySource) {
+  const auto vs = lint_tree(fixture("raw_random_violation"));
+  ASSERT_EQ(vs.size(), 4u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "raw-random");
+  const std::vector<std::size_t> lines = {vs[0].line, vs[1].line, vs[2].line,
+                                          vs[3].line};
+  EXPECT_EQ(lines, (std::vector<std::size_t>{10, 11, 12, 13}));
+}
+
+TEST(LintRawRandom, CommonRngIsTheBlessedEntropySite) {
+  EXPECT_TRUE(lint_tree(fixture("raw_random_allowlisted")).empty());
+}
+
+TEST(LintFloatType, FiresOnFloatButNotProseOrIdentifiers) {
+  const auto vs = lint_tree(fixture("float_violation"));
+  ASSERT_EQ(vs.size(), 3u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "float-type");
+  EXPECT_EQ(vs[0].line, 12u);
+  EXPECT_EQ(vs[1].line, 13u);
+  EXPECT_EQ(vs[2].line, 14u);
+}
+
+TEST(LintFloatType, JustifiedFloatPasses) {
+  EXPECT_TRUE(lint_tree(fixture("float_suppressed")).empty());
+}
+
+TEST(LintPragmaOnce, FiresWhenCodePrecedesPragma) {
+  const auto vs = lint_tree(fixture("pragma_once_violation"));
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "pragma-once");
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(LintPragmaOnce, CommentThenPragmaPasses) {
+  EXPECT_TRUE(lint_tree(fixture("pragma_once_ok")).empty());
+}
+
+TEST(LintIncludeLayering, FiresOnUpwardIncludes) {
+  const auto vs = lint_tree(fixture("layering_violation"));
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "include-layering");
+  EXPECT_EQ(vs[0].line, 4u);  // overlay -> core
+  EXPECT_EQ(vs[1].rule, "include-layering");
+  EXPECT_EQ(vs[1].line, 5u);  // overlay -> harness
+}
+
+TEST(LintIncludeLayering, TopLayerMayIncludeEverything) {
+  EXPECT_TRUE(lint_tree(fixture("layering_ok")).empty());
+}
+
+TEST(LintSuppression, ReasonlessMarkerIsItselfAViolationAndDoesNotSuppress) {
+  const auto vs = lint_tree(fixture("bad_suppression"));
+  const auto rules = rules_of(vs);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "bad-suppression"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "unordered-container"),
+            rules.end());
+}
+
+// ---- direct engine edge cases (no fixture tree needed) -------------------
+
+TEST(LintEngine, CommentsStringsAndRawStringsNeverMatch) {
+  const std::string contents =
+      "// float in a comment\n"
+      "/* std::unordered_map<int,int> in a block comment */\n"
+      "const char* s = \"float rand() std::unordered_set<int>\";\n"
+      "const char* r = R\"(float time(nullptr))\";\n";
+  EXPECT_TRUE(lint_file("src/core/prose.cpp", contents).empty());
+}
+
+TEST(LintEngine, DigitSeparatorsDoNotDerailLiteralStripping) {
+  // The 1'000 separator must not open a char literal that would swallow
+  // the `float` on the same line.
+  const auto vs =
+      lint_file("src/core/sep.cpp", "int x = 1'000; float y = 2.0F;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "float-type");
+}
+
+TEST(LintEngine, IncludeDirectiveQuotesSurviveStripping) {
+  const auto vs = lint_file("src/core/up.cpp",
+                            "#include \"harness/plan.hpp\"\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "include-layering");
+}
+
+TEST(LintEngine, RuleFilterRestrictsFindings) {
+  Options only_float;
+  only_float.rules = {"float-type"};
+  const std::string contents =
+      "#include \"harness/plan.hpp\"\n"
+      "float x = 0.0F;\n";
+  const auto vs = lint_file("src/core/multi.cpp", contents, only_float);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "float-type");
+}
+
+TEST(LintEngine, ViolationsAreSortedByFileAndLine) {
+  const auto vs = lint_tree(fixture("raw_random_violation"));
+  ASSERT_FALSE(vs.empty());
+  for (std::size_t i = 1; i < vs.size(); ++i) {
+    EXPECT_LE(vs[i - 1].file, vs[i].file);
+    if (vs[i - 1].file == vs[i].file) {
+      EXPECT_LE(vs[i - 1].line, vs[i].line);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairswap::lint

@@ -1,0 +1,11 @@
+// Fixture: an allow(...) marker without a reason is itself a violation
+// (`bad-suppression`) and does NOT suppress the underlying finding.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+// fairswap-lint: allow(unordered-container)
+std::unordered_map<std::uint64_t, int> totals;
+
+}  // namespace fixture

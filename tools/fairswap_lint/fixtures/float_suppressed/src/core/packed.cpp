@@ -1,0 +1,9 @@
+// Fixture: a justified float (e.g. matching an external wire format,
+// never accumulated) must pass.
+namespace fixture {
+
+// fairswap-lint: allow(float-type) -- mirrors an external packed wire
+// format; the value is never accumulated, only copied.
+float wire_value = 1.5F;
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: `float` in a fold path must fire `float-type` — a 24-bit
+// mantissa makes accumulation order visible in results. Identifiers that
+// merely contain the word (floating) and mentions in comments or strings
+// must NOT fire.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// A "float" in prose: no violation here.
+double floating_mean(const std::vector<double>& xs) {
+  float sum = 0.0F;
+  for (const double x : xs) sum += static_cast<float>(x);
+  return sum / static_cast<float>(xs.empty() ? std::size_t{1} : xs.size());
+}
+
+const char* description() { return "uses float internally"; }
+
+}  // namespace fixture

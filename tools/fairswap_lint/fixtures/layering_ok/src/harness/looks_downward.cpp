@@ -1,0 +1,8 @@
+// Fixture: the top layer may include everything below it; must pass.
+#include "agents/epoch.hpp"
+#include "common/rng.hpp"
+#include "core/simulation.hpp"
+
+namespace fixture {
+int never_compiled = 0;
+}  // namespace fixture

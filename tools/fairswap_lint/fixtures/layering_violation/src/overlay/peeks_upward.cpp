@@ -1,0 +1,9 @@
+// Fixture: a lower-layer module including an upper layer must fire
+// `include-layering` (overlay -> core inverts the DAG; core -> harness
+// and core -> agents are the headline forbidden edges).
+#include "core/simulation.hpp"
+#include "harness/plan.hpp"
+
+namespace fixture {
+int never_compiled = 0;
+}  // namespace fixture

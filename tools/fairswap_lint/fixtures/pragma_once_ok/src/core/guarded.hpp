@@ -1,0 +1,9 @@
+// Fixture: leading comment block, then #pragma once — the canonical
+// header shape; must pass.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+using Id = std::uint32_t;
+}  // namespace fixture

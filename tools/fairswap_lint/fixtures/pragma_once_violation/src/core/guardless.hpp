@@ -1,0 +1,9 @@
+// Fixture: a header whose first code line is not #pragma once must fire
+// `pragma-once` (this leading comment is fine; the include below is not).
+#include <cstdint>
+
+#pragma once
+
+namespace fixture {
+using Id = std::uint32_t;
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: src/common/rng* is the one blessed entropy site — the same
+// tokens that fire elsewhere must pass here.
+#include <random>
+
+namespace fixture {
+
+unsigned long blessed_entropy() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: every ad-hoc entropy source must fire `raw-random` — all
+// randomness flows from common/rng.hpp so runs replay bit-identically.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned seed_from_everywhere() {
+  std::random_device device;
+  std::srand(device());
+  const auto wall = static_cast<unsigned>(std::time(nullptr));
+  return static_cast<unsigned>(std::rand()) ^ wall;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: the same member with a reasoned allow(...) marker must pass —
+// the marker also covers multi-line justification prose.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class GoodMap {
+ private:
+  // fairswap-lint: allow(unordered-container) -- keyed lookup only in
+  // this fixture; the reason may wrap onto a second comment line and the
+  // suppression still reaches the declaration below.
+  std::unordered_map<std::uint64_t, int> totals_;
+};
+
+}  // namespace fixture

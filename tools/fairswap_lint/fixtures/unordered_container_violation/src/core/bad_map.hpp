@@ -1,0 +1,15 @@
+// Fixture: an unjustified unordered_map member must fire
+// `unordered-container` (hash containers need an inline reason).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class BadMap {
+ private:
+  std::unordered_map<std::uint64_t, int> totals_;
+};
+
+}  // namespace fixture

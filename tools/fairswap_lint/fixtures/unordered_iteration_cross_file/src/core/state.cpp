@@ -1,0 +1,13 @@
+// ...and iterated here: the lint must resolve the quoted include and
+// still fire `unordered-iteration` in this translation unit.
+#include "core/state.hpp"
+
+namespace fixture {
+
+int State::hash_order_sum() const {
+  int sum = 0;
+  for (const auto& [key, value] : balances_) sum += value;
+  return sum;
+}
+
+}  // namespace fixture

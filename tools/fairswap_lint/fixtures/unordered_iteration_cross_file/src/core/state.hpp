@@ -1,0 +1,17 @@
+// Fixture (cross-file): the unordered member is declared here...
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct State {
+  // fairswap-lint: allow(unordered-container) -- fixture isolates the
+  // cross-file iteration rule.
+  std::unordered_map<std::uint64_t, int> balances_;
+
+  int hash_order_sum() const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: a justified order-independent iteration must pass.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+// fairswap-lint: allow(unordered-container) -- fixture isolates the
+// iteration rule.
+std::unordered_map<std::uint64_t, int> totals;
+
+int order_independent_sum() {
+  int sum = 0;
+  // fairswap-lint: allow(unordered-iteration) -- integer sum; addition is
+  // associative and commutative, so visit order cannot show.
+  for (const auto& [key, value] : totals) sum += value;
+  return sum;
+}
+
+}  // namespace fixture

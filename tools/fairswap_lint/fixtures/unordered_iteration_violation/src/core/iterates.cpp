@@ -1,0 +1,28 @@
+// Fixture: range-for and .begin() over unordered members must fire
+// `unordered-iteration` (hash-order leaks into whatever they feed).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+// fairswap-lint: allow(unordered-container) -- fixture isolates the
+// iteration rule; the declarations themselves are justified here.
+std::unordered_map<std::uint64_t, int> totals;
+// fairswap-lint: allow(unordered-container) -- fixture isolates the
+// iteration rule.
+std::unordered_set<int> members;
+
+int sum_in_hash_order() {
+  int sum = 0;
+  for (const auto& [key, value] : totals) sum += value * static_cast<int>(key);
+  return sum;
+}
+
+int walk_in_hash_order() {
+  int count = 0;
+  for (auto it = members.begin(); it != members.end(); ++it) ++count;
+  return count;
+}
+
+}  // namespace fixture

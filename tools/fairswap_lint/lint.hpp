@@ -1,0 +1,85 @@
+// fairswap_lint — project-specific determinism & layering rules that
+// generic tools (clang-tidy, compiler warnings) cannot express.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the rationale and the full
+// suppression policy):
+//
+//   unordered-container   any std::unordered_{map,set,multimap,multiset}
+//                         usage needs an inline justification: hash
+//                         containers are lookup structures here, never
+//                         enumeration sources.
+//   unordered-iteration   range-for / .begin() over a variable declared as
+//                         an unordered container. Enumeration must go
+//                         through common/ordered.hpp (the one allowlisted
+//                         file) or carry a justification (e.g. an
+//                         order-independent integer sum).
+//   raw-random            rand/srand/std::random_device/time() seeding —
+//                         all randomness flows from common/rng.hpp
+//                         (SplitMix64) so runs replay bit-identically.
+//   float-type            `float` anywhere: metrics/fold paths accumulate
+//                         in double or integers with canonical order;
+//                         float's 24-bit mantissa makes fold order visible.
+//   pragma-once           every header opens with #pragma once.
+//   include-layering      quoted includes must respect the module DAG
+//                         (core never includes harness/agents, common
+//                         includes nothing, ...).
+//
+// Suppression: a comment containing
+//     fairswap-lint: allow(<rule>) -- <reason>
+// on the flagged line or the line directly above suppresses that rule
+// there. The reason is mandatory; an empty reason is itself a violation
+// (`bad-suppression`).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fairswap::lint {
+
+struct Violation {
+  std::string file;  ///< repo-relative path, forward slashes
+  std::size_t line;  ///< 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Violation&, const Violation&) = default;
+};
+
+struct Options {
+  /// When non-empty, only these rules run (fixture tests isolate rules).
+  /// `bad-suppression` findings are always reported.
+  std::vector<std::string> rules;
+};
+
+/// Parsed form of one source file: the original lines plus a "code view"
+/// with comments and string/char literals blanked out, so rule matching
+/// never fires on prose or literals.
+struct SourceFile {
+  std::string path;  ///< repo-relative, forward slashes
+  std::vector<std::string> lines;
+  std::vector<std::string> code;  ///< same shape, comments/literals blanked
+};
+
+/// Splits contents into a SourceFile (comment/literal stripping included).
+SourceFile parse_source(std::string path, const std::string& contents);
+
+/// Lints a set of files as one unit. Cross-file context (which variables
+/// are unordered containers, declared in headers and iterated in .cpp
+/// files) is resolved across the set via quoted includes.
+std::vector<Violation> lint_files(const std::vector<SourceFile>& files,
+                                  const Options& options = {});
+
+/// Convenience: single file, no cross-file context beyond itself.
+std::vector<Violation> lint_file(std::string path, const std::string& contents,
+                                 const Options& options = {});
+
+/// Walks src/, bench/ and examples/ under `root`, linting every .cpp/.hpp.
+/// Returns violations sorted by (file, line).
+std::vector<Violation> lint_tree(const std::filesystem::path& root,
+                                 const Options& options = {});
+
+/// "file:line: rule: message" — the CLI output format.
+std::string format(const Violation& v);
+
+}  // namespace fairswap::lint

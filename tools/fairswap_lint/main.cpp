@@ -1,0 +1,49 @@
+// CLI for the fairswap determinism/layering lint.
+//
+//   fairswap_lint <repo-root> [--rule=<name>]...
+//
+// Scans src/, bench/ and examples/ under <repo-root> and prints one
+// "file:line: rule: message" per violation. Exit 0 when clean, 1 on any
+// violation, 2 on usage errors — the same contract CTest and CI rely on.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  fairswap::lint::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rule=", 0) == 0) {
+      options.rules.push_back(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fairswap_lint <repo-root> [--rule=<name>]...\n"
+                   "rules: unordered-container unordered-iteration "
+                   "raw-random float-type pragma-once include-layering\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "fairswap_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.size() != 1) {
+    std::cerr << "usage: fairswap_lint <repo-root> [--rule=<name>]...\n";
+    return 2;
+  }
+
+  const auto violations = fairswap::lint::lint_tree(roots.front(), options);
+  for (const auto& v : violations) {
+    std::cout << fairswap::lint::format(v) << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " violation"
+              << (violations.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
