@@ -2,13 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.hpp"
 
 namespace fairswap {
 
 namespace {
+// fairswap-lint: allow(mutable-global) -- the process-wide log level is
+// deliberately global (set once by drivers/tests, atomic reads after);
+// it never feeds results, so it cannot break reset()-rerun determinism.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// fairswap-lint: allow(mutable-global) -- serializes stderr emission
+// across TaskPool workers; guards an OS stream, not simulation state.
+Mutex g_mutex;
 }  // namespace
 
 void Log::set_level(LogLevel level) noexcept { g_level.store(level); }
@@ -30,7 +36,7 @@ const char* Log::level_name(LogLevel level) noexcept {
 void Log::write(LogLevel level, const std::string& component,
                 const std::string& message) {
   if (level < g_level.load() || message.empty()) return;
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "%-5s %s: %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

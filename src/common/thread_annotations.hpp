@@ -1,0 +1,106 @@
+// Clang thread-safety capability layer: the one place lock discipline is
+// spelled in types instead of comments.
+//
+// Every mutex in the tree is a `fairswap::Mutex` (a capability-annotated
+// wrapper over std::mutex), every scoped acquisition a
+// `fairswap::MutexLock`, and every shared field carries GUARDED_BY(<its
+// mutex>). Under Clang, `-Wthread-safety` (part of `fairswap_warnings`,
+// an error under FAIRSWAP_WERROR) then proves at compile time that no
+// guarded field is touched without its lock — so the
+// bit-identical-for-any-`threads=` invariant stops depending on reviewer
+// memory before intra-simulation sharding lands (ROADMAP). On non-Clang
+// compilers all annotations expand to nothing and the wrappers cost
+// exactly a std::mutex / std::unique_lock.
+//
+// The `naked-mutex` fairswap_lint rule closes the loop: a raw std::mutex
+// or std::condition_variable member anywhere else in the tree is a lint
+// violation, so new concurrency primitives cannot bypass the analysis.
+// This file is the rule's one allowlisted home.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define FAIRSWAP_TSA(x) __attribute__((x))
+#else
+#define FAIRSWAP_TSA(x)  // no-op: GCC/MSVC have no thread-safety analysis
+#endif
+
+// The standard Clang thread-safety vocabulary (see the Clang
+// ThreadSafetyAnalysis docs; names follow the canonical mutex.h example).
+#define CAPABILITY(x) FAIRSWAP_TSA(capability(x))
+#define SCOPED_CAPABILITY FAIRSWAP_TSA(scoped_lockable)
+#define GUARDED_BY(x) FAIRSWAP_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) FAIRSWAP_TSA(pt_guarded_by(x))
+#define ACQUIRE(...) FAIRSWAP_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) FAIRSWAP_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) FAIRSWAP_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) FAIRSWAP_TSA(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) FAIRSWAP_TSA(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) FAIRSWAP_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  FAIRSWAP_TSA(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) FAIRSWAP_TSA(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) FAIRSWAP_TSA(lock_returned(x))
+#define ASSERT_CAPABILITY(x) FAIRSWAP_TSA(assert_capability(x))
+#define NO_THREAD_SAFETY_ANALYSIS FAIRSWAP_TSA(no_thread_safety_analysis)
+
+namespace fairswap {
+
+/// A std::mutex the analysis can see. Fields protected by a Mutex declare
+/// it with GUARDED_BY; functions that assume it is held say REQUIRES.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII acquisition of a Mutex — the project's std::lock_guard /
+/// std::unique_lock. Scoped so the analysis knows the capability is held
+/// exactly for this block.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. As in absl::CondVar,
+/// `wait` atomically releases and reacquires the lock's mutex, but the
+/// analysis treats the capability as continuously held across the call —
+/// re-check the predicate in a loop, under the same MutexLock:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fairswap

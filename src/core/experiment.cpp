@@ -3,10 +3,10 @@
 #include <chrono>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/thread_annotations.hpp"
 #include "core/report.hpp"
 #include "workload/trace.hpp"
 
@@ -14,22 +14,28 @@ namespace fairswap::core {
 
 namespace {
 
-// The preload_trace_text snapshot cache (declared in the header).
-std::mutex& trace_cache_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// The preload_trace_text snapshot cache (declared in the header). One
+/// struct so the mutex and the map it guards are declared together and
+/// the GUARDED_BY relation is compiler-checked under -Wthread-safety.
+struct TraceCache {
+  Mutex mutex;
+  std::map<std::string, std::string> by_path GUARDED_BY(mutex);
+};
 
-std::map<std::string, std::string>& trace_cache() {
-  static std::map<std::string, std::string> cache;
+TraceCache& trace_cache() {
+  // fairswap-lint: allow(mutable-global) -- deliberate process-wide
+  // read-once snapshot cache: every sweep cell must replay the same
+  // bytes even if the file changes mid-sweep (see the header contract).
+  static TraceCache cache;
   return cache;
 }
 
 /// Recording through this process keeps the snapshot coherent: a later
 /// replay of the same path sees what was just written, not a stale read.
 void store_trace_text(const std::string& path, const std::string& text) {
-  const std::lock_guard<std::mutex> lock(trace_cache_mutex());
-  trace_cache()[path] = text;
+  TraceCache& cache = trace_cache();
+  const MutexLock lock(cache.mutex);
+  cache.by_path[path] = text;
 }
 
 /// Drives `sim` for the experiment: trace replay, trace recording, or the
@@ -69,10 +75,10 @@ void drive_simulation(Simulation& sim, const ExperimentConfig& config,
 // See the header: one validated read per path per process. (Parsing
 // stays per replay: the range bounds depend on each cell's topology.)
 const std::string& preload_trace_text(const std::string& path) {
-  const std::lock_guard<std::mutex> lock(trace_cache_mutex());
-  auto& cache = trace_cache();
-  const auto it = cache.find(path);
-  if (it != cache.end()) return it->second;
+  TraceCache& cache = trace_cache();
+  const MutexLock lock(cache.mutex);
+  const auto it = cache.by_path.find(path);
+  if (it != cache.by_path.end()) return it->second;
   std::ifstream in(path);
   std::ostringstream text;
   if (in) text << in.rdbuf();
@@ -84,7 +90,7 @@ const std::string& preload_trace_text(const std::string& path) {
     throw std::runtime_error("trace file " + path +
                              " is missing, empty or unreadable");
   }
-  return cache.emplace(path, text.str()).first->second;
+  return cache.by_path.emplace(path, text.str()).first->second;
 }
 
 overlay::Topology build_topology(const ExperimentConfig& config) {

@@ -77,6 +77,9 @@ AggregateResult run_seeds(const ExperimentConfig& base,
 
   std::vector<SeedStats> per_seed(seeds.size());
   TaskPool pool(threads);
+  // fairswap-lint: allow(shared-capture) -- each task writes only its own
+  // per_seed[i] slot; base and seeds are read-only inside the job, and
+  // fold() runs after the barrier on the calling thread.
   pool.parallel_for(seeds.size(), [&](std::size_t i) {
     per_seed[i] = run_one_seed(base, seeds[i]);
   });

@@ -17,7 +17,7 @@ TaskPool::TaskPool(std::size_t threads) {
 
 TaskPool::~TaskPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -45,7 +45,7 @@ void TaskPool::parallel_for(std::size_t count,
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     fn_ = &fn;
     count_ = count;
     grain_ = grain;
@@ -56,47 +56,55 @@ void TaskPool::parallel_for(std::size_t count,
   }
   wake_cv_.notify_all();
 
-  drain_current_job();  // the caller is a worker too
+  drain_job(fn, count, grain);  // the caller is a worker too
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
-  fn_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (active_workers_ != 0) done_cv_.wait(lock);
+    fn_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void TaskPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    // Copy the job descriptor out under the lock: drain_job then runs on
+    // thread-local copies, so fn_/count_/grain_ stay strictly
+    // mutex_-guarded (no lock-free protocol for the analysis to miss).
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::size_t grain = 1;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock,
-                    [&] { return stop_ || generation_ != seen_generation; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) wake_cv_.wait(lock);
       if (stop_) return;
       seen_generation = generation_;
+      fn = fn_;
+      count = count_;
+      grain = grain_;
     }
-    drain_current_job();
+    drain_job(*fn, count, grain);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (--active_workers_ == 0) done_cv_.notify_one();
     }
   }
 }
 
-void TaskPool::drain_current_job() {
+void TaskPool::drain_job(const std::function<void(std::size_t)>& fn,
+                         std::size_t count, std::size_t grain) {
   for (;;) {
-    const std::size_t begin =
-        next_.fetch_add(grain_, std::memory_order_relaxed);
-    if (begin >= count_) return;
-    const std::size_t end = std::min(begin + grain_, count_);
+    const std::size_t begin = next_.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= count) return;
+    const std::size_t end = std::min(begin + grain, count);
     for (std::size_t i = begin; i < end; ++i) {
       try {
-        (*fn_)(i);
+        fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
     }

@@ -5,17 +5,23 @@
 // analogue. Workers pull indices from a shared atomic counter (chunked
 // self-scheduling), so an expensive seed on one worker does not stall the
 // rest — the cheap seeds are stolen by whoever is idle.
+//
+// Lock discipline is compiler-checked (common/thread_annotations.hpp,
+// -Wthread-safety): every shared field is GUARDED_BY(mutex_). Workers copy
+// the job descriptor (fn/count/grain) while holding mutex_ at wake-up and
+// then run on the copies, so no field is ever read outside the lock; the
+// only lock-free shared state is the atomic chunk counter next_.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace fairswap::core {
 
@@ -47,23 +53,34 @@ class TaskPool {
 
  private:
   void worker_loop();
-  void drain_current_job();
+  /// Claims and runs chunks of the job described by the arguments (copied
+  /// out under mutex_ by the caller); records the first exception under
+  /// mutex_.
+  void drain_job(const std::function<void(std::size_t)>& fn,
+                 std::size_t count, std::size_t grain);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;   // workers wait for a new job / stop
-  std::condition_variable done_cv_;   // caller waits for workers to finish
-  bool stop_{false};
-  std::uint64_t generation_{0};       // bumped once per parallel_for
-  std::size_t active_workers_{0};     // workers still inside the current job
+  Mutex mutex_;
+  CondVar wake_cv_;  // workers wait for a new job / stop
+  CondVar done_cv_;  // caller waits for workers to finish
+  bool stop_ GUARDED_BY(mutex_) = false;
+  // Bumped once per parallel_for; a worker's wake condition.
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  // Workers still inside the current job.
+  std::size_t active_workers_ GUARDED_BY(mutex_) = 0;
 
-  // Current job; written under mutex_ before workers are woken.
-  const std::function<void(std::size_t)>* fn_{nullptr};
-  std::size_t count_{0};
-  std::size_t grain_{1};
+  // Current job descriptor. Written under mutex_ before workers are woken;
+  // workers copy it under mutex_ at wake-up and never touch it again.
+  const std::function<void(std::size_t)>* fn_ GUARDED_BY(mutex_) = nullptr;
+  std::size_t count_ GUARDED_BY(mutex_) = 0;
+  std::size_t grain_ GUARDED_BY(mutex_) = 1;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
+
+  // Chunk-claim counter: the one deliberately lock-free shared field
+  // (relaxed order is enough — claims carry no data, and job visibility
+  // is ordered by the mutex_ hand-off above).
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr first_error_;
 };
 
 }  // namespace fairswap::core

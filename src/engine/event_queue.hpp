@@ -2,6 +2,14 @@
 // for simultaneous events. Drives the temporal extensions the step-based
 // engine cannot express: time-based amortization dynamics, churn, and
 // latency modelling.
+//
+// Concurrency boundary: EventQueue is thread-compatible, not thread-safe
+// — it carries no lock on purpose. Every instance is owned by exactly one
+// simulation, and every simulation is owned by exactly one TaskPool task;
+// parallelism stays *between* queues, never inside one. The
+// `shared-capture` fairswap_lint rule enforces the boundary statically (a
+// queue cannot be ref-captured into a parallel_for lambda without a
+// reasoned allow), and the TSan CI job backstops it dynamically.
 #pragma once
 
 #include <cstdint>

@@ -302,6 +302,10 @@ bool run_plan(const ExperimentPlan& plan, std::span<MetricSink* const> sinks,
     for (std::size_t t = 0; t < task_count; ++t) run_task(t);
   } else {
     core::TaskPool pool(std::min(threads, task_count));
+    // fairswap-lint: allow(shared-capture) -- run_task writes only
+    // cells[run_index * seeds + seed_index], and (group, seed) tasks
+    // partition those indices: every worker owns disjoint slots, and the
+    // fold below runs after parallel_for's barrier, single-threaded.
     pool.parallel_for(task_count, run_task);
   }
 

@@ -9,6 +9,9 @@
 namespace fairswap::harness {
 
 ScenarioRegistry& ScenarioRegistry::instance() {
+  // fairswap-lint: allow(mutable-global) -- the scenario registry is
+  // populated once by static registrars before main() and read-only
+  // afterwards; it holds code (run functions), never simulation state.
   static ScenarioRegistry registry;
   return registry;
 }

@@ -15,6 +15,12 @@
 // ledger are already final when a flow starts, so counter-based and
 // flow-level runs agree bit-for-bit on everything except the new FCT /
 // utilization outputs (tests/net/flow_equivalence_test.cpp).
+//
+// Concurrency boundary: like its EventQueue, a FlowSimulator is
+// thread-compatible and single-owner — one per Simulation, one Simulation
+// per TaskPool task. Nothing here is locked, and the `shared-capture`
+// lint rule plus the TSan CI job keep it that way (see
+// engine/event_queue.hpp).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,68 @@
+// Deliberate data race, used as a canary for the ThreadSanitizer CI job.
+//
+// The sanitize-thread matrix leg exists to catch unsynchronized shared
+// state reaching TaskPool workers. That guarantee is only as good as the
+// instrumentation actually being present and fatal — a misconfigured
+// build that silently drops -fsanitize=thread would turn the whole job
+// into a no-op that passes everything. So this binary races an unguarded
+// counter through TaskPool on purpose and is registered as a WILL_FAIL
+// test under FAIRSWAP_SANITIZE=thread: TSan must abort it (nonzero exit)
+// for the suite to stay green.
+//
+// Exit codes:
+//   66 (TSan's default)  race detected — the expected outcome under TSan
+//   77                   not instrumented, no --require-tsan: CTest skip
+//   0                    not instrumented under --require-tsan, or
+//                        instrumented but the race went unreported —
+//                        either way the WILL_FAIL registration fails
+//                        loudly, which is exactly the alarm a blind
+//                        "TSan" build deserves
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/task_pool.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define FAIRSWAP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FAIRSWAP_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef FAIRSWAP_TSAN_ENABLED
+#define FAIRSWAP_TSAN_ENABLED 0
+#endif
+
+int main(int argc, char** argv) {
+  bool require_tsan = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-tsan") == 0) require_tsan = true;
+  }
+
+  if (!FAIRSWAP_TSAN_ENABLED) {
+    if (require_tsan) {
+      std::puts(
+          "race_canary: --require-tsan but this binary is NOT "
+          "TSan-instrumented; exiting 0 so the WILL_FAIL registration "
+          "fails and the broken sanitizer build is noticed");
+      return 0;
+    }
+    std::puts("race_canary: not TSan-instrumented, skipping");
+    return 77;
+  }
+
+  // The race: every worker bumps the same counter with plain loads and
+  // stores. Four threads and 1<<16 increments make the conflict certain;
+  // TSan reports it and (with the project's fatal-error flags) aborts.
+  fairswap::core::TaskPool pool(4);
+  std::size_t counter = 0;
+  pool.parallel_for(std::size_t{1} << 16,
+                    [&counter](std::size_t) { ++counter; });
+  std::printf("race_canary: ran to completion, counter=%zu\n", counter);
+  // TSan reports the race and overrides the exit status (66) at process
+  // exit, so returning 0 here still fails as required. If TSan somehow
+  // missed the race, the clean exit 0 makes the WILL_FAIL registration
+  // fail — the canary alarms on a blind sanitizer too.
+  return 0;
+}

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace fairswap::lint {
 namespace {
 
@@ -115,6 +117,60 @@ TEST(LintIncludeLayering, TopLayerMayIncludeEverything) {
   EXPECT_TRUE(lint_tree(fixture("layering_ok")).empty());
 }
 
+TEST(LintMutableGlobal, FiresOnNamespaceScopeAndStaticLocalState) {
+  const auto vs = lint_tree(fixture("mutable_global_violation"));
+  ASSERT_EQ(vs.size(), 3u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "mutable-global");
+  EXPECT_EQ(vs[0].line, 12u);  // std::uint64_t request_counter
+  EXPECT_EQ(vs[1].line, 13u);  // std::vector<int> scratch
+  EXPECT_EQ(vs[2].line, 16u);  // static local counter
+  // The const/constexpr declarations on lines 10-11 must not appear.
+}
+
+TEST(LintMutableGlobal, ReasonedRegistrySingletonPasses) {
+  EXPECT_TRUE(lint_tree(fixture("mutable_global_suppressed")).empty());
+}
+
+TEST(LintNakedMutex, FiresOnRawPrimitiveAndRawGuard) {
+  const auto vs = lint_tree(fixture("naked_mutex_violation"));
+  ASSERT_EQ(vs.size(), 2u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "naked-mutex");
+  EXPECT_EQ(vs[0].line, 13u);  // std::lock_guard<std::mutex>
+  EXPECT_EQ(vs[1].line, 18u);  // std::mutex member
+}
+
+TEST(LintNakedMutex, ReasonedForeignInterfacePasses) {
+  EXPECT_TRUE(lint_tree(fixture("naked_mutex_suppressed")).empty());
+}
+
+TEST(LintNakedMutex, ThreadAnnotationsHeaderIsTheBlessedHome) {
+  // The wrapper header itself holds the raw primitives; allowlisted by
+  // path, no suppression comments needed. (Rule-filtered: the snippet is
+  // not a full header, so pragma-once would fire on it.)
+  Options only_mutex;
+  only_mutex.rules = {"naked-mutex"};
+  EXPECT_TRUE(lint_file("src/common/thread_annotations.hpp",
+                        "std::mutex m_;\n", only_mutex)
+                  .empty());
+  const auto vs =
+      lint_file("src/core/other.hpp", "std::mutex m_;\n", only_mutex);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "naked-mutex");
+}
+
+TEST(LintSharedCapture, FiresOnInlineAndNamedRefLambdas) {
+  const auto vs = lint_tree(fixture("shared_capture_violation"));
+  ASSERT_EQ(vs.size(), 2u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "shared-capture");
+  EXPECT_EQ(vs[0].line, 14u);  // inline [&] lambda
+  EXPECT_EQ(vs[1].line, 17u);  // named `bump` lambda, by-ref
+  // The by-value [base] lambda on line 20 must not appear.
+}
+
+TEST(LintSharedCapture, ReasonedDisjointSlotFoldPasses) {
+  EXPECT_TRUE(lint_tree(fixture("shared_capture_suppressed")).empty());
+}
+
 TEST(LintSuppression, ReasonlessMarkerIsItselfAViolationAndDoesNotSuppress) {
   const auto vs = lint_tree(fixture("bad_suppression"));
   const auto rules = rules_of(vs);
@@ -139,8 +195,8 @@ TEST(LintEngine, CommentsStringsAndRawStringsNeverMatch) {
 TEST(LintEngine, DigitSeparatorsDoNotDerailLiteralStripping) {
   // The 1'000 separator must not open a char literal that would swallow
   // the `float` on the same line.
-  const auto vs =
-      lint_file("src/core/sep.cpp", "int x = 1'000; float y = 2.0F;\n");
+  const auto vs = lint_file("src/core/sep.cpp",
+                            "const int x = 1'000; float y = 2.0F;\n");
   ASSERT_EQ(vs.size(), 1u);
   EXPECT_EQ(vs[0].rule, "float-type");
 }
@@ -161,6 +217,47 @@ TEST(LintEngine, RuleFilterRestrictsFindings) {
   const auto vs = lint_file("src/core/multi.cpp", contents, only_float);
   ASSERT_EQ(vs.size(), 1u);
   EXPECT_EQ(vs[0].rule, "float-type");
+}
+
+// ---- --format=json round trip --------------------------------------------
+
+TEST(LintJson, RoundTripsThroughTheProjectParser) {
+  const auto vs = lint_tree(fixture("mutable_global_violation"));
+  ASSERT_EQ(vs.size(), 3u);
+  const std::string text = format_json(vs);
+
+  fairswap::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(fairswap::parse_json(text, doc, &error)) << error;
+  EXPECT_EQ(doc.at("schema").string, "fairswap.lint.v1");
+  EXPECT_EQ(doc.at("count").number, 3.0);
+  const auto& arr = doc.at("violations");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.array.size(), vs.size());
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_EQ(arr.array[i].at("rule").string, vs[i].rule);
+    EXPECT_EQ(arr.array[i].at("file").string, vs[i].file);
+    EXPECT_EQ(arr.array[i].at("line").number,
+              static_cast<double>(vs[i].line));
+    EXPECT_EQ(arr.array[i].at("reason").string, vs[i].message);
+  }
+}
+
+TEST(LintJson, EmptyResultIsAValidDocumentWithCountZero) {
+  fairswap::JsonValue doc;
+  ASSERT_TRUE(fairswap::parse_json(format_json({}), doc));
+  EXPECT_EQ(doc.at("count").number, 0.0);
+  EXPECT_TRUE(doc.at("violations").is_array());
+  EXPECT_TRUE(doc.at("violations").array.empty());
+}
+
+TEST(LintJson, EscapesQuotesAndControlCharactersInMessages) {
+  const Violation v{"src/core/a.cpp", 3, "demo",
+                    "path \"x\\y\"\n\ttab and \x01 control"};
+  fairswap::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(fairswap::parse_json(format_json({v}), doc, &error)) << error;
+  EXPECT_EQ(doc.at("violations").array[0].at("reason").string, v.message);
 }
 
 TEST(LintEngine, ViolationsAreSortedByFileAndLine) {

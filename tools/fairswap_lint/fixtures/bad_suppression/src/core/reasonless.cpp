@@ -5,7 +5,10 @@
 
 namespace fixture {
 
-// fairswap-lint: allow(unordered-container)
-std::unordered_map<std::uint64_t, int> totals;
+int lookup(std::uint64_t key) {
+  // fairswap-lint: allow(unordered-container)
+  std::unordered_map<std::uint64_t, int> totals;
+  return static_cast<int>(totals.count(key));
+}
 
 }  // namespace fixture

@@ -4,6 +4,6 @@ namespace fixture {
 
 // fairswap-lint: allow(float-type) -- mirrors an external packed wire
 // format; the value is never accumulated, only copied.
-float wire_value = 1.5F;
+const float wire_value = 1.5F;
 
 }  // namespace fixture

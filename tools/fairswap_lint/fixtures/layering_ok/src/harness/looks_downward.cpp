@@ -4,5 +4,5 @@
 #include "core/simulation.hpp"
 
 namespace fixture {
-int never_compiled = 0;
+constexpr int never_compiled = 0;
 }  // namespace fixture

@@ -5,5 +5,5 @@
 #include "harness/plan.hpp"
 
 namespace fixture {
-int never_compiled = 0;
+constexpr int never_compiled = 0;
 }  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: the two blessed global shapes — a registry populated by static
+// registrars before main() and a process-wide cache behind a Mutex — pass
+// with a reasoned allow; plain constants pass without one.
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+constexpr std::uint64_t kSeed = 7;
+
+struct Registry {
+  std::map<std::string, int> entries;
+};
+
+Registry& registry() {
+  // fairswap-lint: allow(mutable-global) -- populated once by static
+  // registrars before main() and read-only afterwards; holds code
+  // bindings, never per-run simulation state.
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: namespace-scope mutable state and function-local statics must
+// fire `mutable-global` — hidden state that survives across runs breaks
+// the reset()-rerun determinism contract. Constants of every flavor
+// (const / constexpr / constinit / extern declarations) must NOT fire.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+constexpr int kChunkSize = 4096;
+const char* const kName = "fixture";
+std::uint64_t request_counter = 0;
+std::vector<int> scratch;
+
+int next_id() {
+  static std::uint64_t counter = 0;
+  return static_cast<int>(++counter);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a reasoned allow (e.g. a primitive handed to a C library that
+// demands the raw type) passes; so does lock-free code with no primitive
+// at all.
+#include <mutex>
+
+namespace fixture {
+
+// fairswap-lint: allow(naked-mutex) -- handed by address to a C callback
+// API that requires the raw std::mutex layout; never locked directly in
+// project code.
+std::mutex& ffi_handle();
+
+int lock_free_path(int x) { return x + 1; }
+
+}  // namespace fixture

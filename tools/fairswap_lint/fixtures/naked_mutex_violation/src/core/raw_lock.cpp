@@ -1,0 +1,22 @@
+// Fixture: raw standard-library locking primitives must fire
+// `naked-mutex` — a std::mutex member is invisible to -Wthread-safety,
+// so every acquisition must go through the capability-annotated wrappers
+// in common/thread_annotations.hpp. Mentions in comments or strings (a
+// "std::mutex" here in prose) must NOT fire.
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

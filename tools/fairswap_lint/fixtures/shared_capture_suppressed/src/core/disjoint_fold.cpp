@@ -1,0 +1,23 @@
+// Fixture: the blessed pattern — workers write disjoint slots of a
+// pre-sized vector and the fold happens after the parallel_for barrier —
+// passes with a reasoned allow.
+#include <cstddef>
+#include <vector>
+
+#include "core/task_pool.hpp"
+
+namespace fixture {
+
+double disjoint_sum(fairswap::core::TaskPool& pool,
+                    const std::vector<double>& xs) {
+  std::vector<double> cells(xs.size(), 0.0);
+  // fairswap-lint: allow(shared-capture) -- each task writes only
+  // cells[i]; indices partition the vector, and the fold below runs after
+  // parallel_for's barrier, single-threaded.
+  pool.parallel_for(xs.size(), [&](std::size_t i) { cells[i] = xs[i] * 2.0; });
+  double sum = 0.0;
+  for (const double c : cells) sum += c;
+  return sum;
+}
+
+}  // namespace fixture

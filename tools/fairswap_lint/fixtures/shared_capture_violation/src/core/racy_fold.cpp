@@ -1,0 +1,26 @@
+// Fixture: lambdas handed to TaskPool::parallel_for that capture by
+// reference must fire `shared-capture` — both an inline introducer and a
+// named lambda bound earlier. A by-value capture must NOT fire.
+#include <cstddef>
+#include <vector>
+
+#include "core/task_pool.hpp"
+
+namespace fixture {
+
+double racy_sum(fairswap::core::TaskPool& pool,
+                const std::vector<double>& xs) {
+  double sum = 0.0;
+  pool.parallel_for(xs.size(), [&](std::size_t i) { sum += xs[i]; });
+
+  auto bump = [&sum](std::size_t i) { sum += static_cast<double>(i); };
+  pool.parallel_for(xs.size(), bump);
+
+  const double base = sum;
+  pool.parallel_for(xs.size(), [base](std::size_t i) {
+    static_cast<void>(base + static_cast<double>(i));
+  });
+  return sum;
+}
+
+}  // namespace fixture

@@ -6,7 +6,7 @@ namespace fixture {
 
 // fairswap-lint: allow(unordered-container) -- fixture isolates the
 // iteration rule.
-std::unordered_map<std::uint64_t, int> totals;
+const std::unordered_map<std::uint64_t, int> totals;
 
 int order_independent_sum() {
   int sum = 0;

@@ -8,10 +8,10 @@ namespace fixture {
 
 // fairswap-lint: allow(unordered-container) -- fixture isolates the
 // iteration rule; the declarations themselves are justified here.
-std::unordered_map<std::uint64_t, int> totals;
+const std::unordered_map<std::uint64_t, int> totals;
 // fairswap-lint: allow(unordered-container) -- fixture isolates the
 // iteration rule.
-std::unordered_set<int> members;
+const std::unordered_set<int> members;
 
 int sum_in_hash_order() {
   int sum = 0;

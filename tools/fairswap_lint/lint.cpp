@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
@@ -486,6 +487,297 @@ void check_unordered_iteration(const SourceFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: naked-mutex
+// ---------------------------------------------------------------------------
+
+void check_naked_mutex(const SourceFile& file, const Suppressions& sup,
+                       std::vector<Violation>& out) {
+  // The capability wrappers (Mutex / MutexLock / CondVar) live here; this
+  // is the one place raw primitives may appear.
+  if (file.path == "src/common/thread_annotations.hpp") return;
+  static constexpr std::array<std::string_view, 11> kTokens = {
+      "std::mutex",
+      "std::shared_mutex",
+      "std::recursive_mutex",
+      "std::timed_mutex",
+      "std::recursive_timed_mutex",
+      "std::shared_timed_mutex",
+      "std::condition_variable",
+      "std::condition_variable_any",
+      "std::lock_guard",
+      "std::unique_lock",
+      "std::scoped_lock"};
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    for (const std::string_view token : kTokens) {
+      if (find_token(file.code[i], token) == std::string::npos) continue;
+      if (!sup.allows(i, "naked-mutex")) {
+        out.push_back(
+            {file.path, i + 1, "naked-mutex",
+             "'" + std::string(token) +
+                 "' bypasses -Wthread-safety; use the capability-annotated "
+                 "Mutex / MutexLock / CondVar wrappers from "
+                 "common/thread_annotations.hpp"});
+      }
+      break;  // one violation per line is enough
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: mutable-global
+// ---------------------------------------------------------------------------
+
+/// For every line: true when every enclosing scope at the line's start is
+/// a namespace (file scope counts). Tracked by brace counting over the
+/// code view; `namespace <name...> {` pushes a namespace scope, any other
+/// `{` (class/struct/function/initializer) pushes an opaque one.
+std::vector<bool> namespace_scope_lines(const SourceFile& file) {
+  std::vector<bool> at_ns(file.code.size(), false);
+  std::vector<bool> stack;  // true = namespace scope
+  bool pending_namespace = false;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    bool all_ns = true;
+    for (const bool s : stack) all_ns = all_ns && s;
+    at_ns[i] = all_ns;
+    const std::string& code = file.code[i];
+    for (std::size_t j = 0; j < code.size(); ++j) {
+      const char c = code[j];
+      if (is_ident_char(c)) {
+        std::size_t k = j;
+        while (k < code.size() && is_ident_char(code[k])) ++k;
+        if (std::string_view(code.data() + j, k - j) == "namespace") {
+          pending_namespace = true;
+        }
+        j = k - 1;
+        continue;
+      }
+      if (c == '{') {
+        stack.push_back(pending_namespace);
+        pending_namespace = false;
+      } else if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+      } else if (c == ';' || c == '=') {
+        // `using namespace x;` / namespace alias — no scope follows.
+        pending_namespace = false;
+      }
+    }
+  }
+  return at_ns;
+}
+
+bool has_any_token(const std::string& code,
+                   std::initializer_list<std::string_view> tokens) {
+  for (const std::string_view t : tokens) {
+    if (find_token(code, t) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::size_t count_identifiers(const std::string& code) {
+  std::size_t n = 0;
+  bool in_ident = false;
+  for (const char c : code) {
+    const bool ident = is_ident_char(c);
+    if (ident && !in_ident) ++n;
+    in_ident = ident;
+  }
+  return n;
+}
+
+/// Heuristic, deliberately conservative: flags `static` declarations that
+/// are not const/constexpr (function-local statics, mutable class
+/// statics) and namespace-scope variable declarations without a const
+/// qualifier. Declaration-statement shape required (ends with ';', no
+/// parentheses), so function declarations/definitions never match; a
+/// paren-initialized global slips through — the tree-clean gate plus
+/// review covers that residue.
+void check_mutable_global(const SourceFile& file,
+                          const std::vector<bool>& at_ns,
+                          const Suppressions& sup,
+                          std::vector<Violation>& out) {
+  // True when line i begins a statement (the previous code line completed
+  // one) — continuation lines of multi-line initializers are never the
+  // declaration itself.
+  bool starts_statement = true;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string t = trim(file.code[i]);
+    if (t.empty()) continue;
+    if (t.front() == '#') {
+      starts_statement = true;  // preprocessor lines don't span statements
+      continue;
+    }
+    const bool at_start = starts_statement;
+    starts_statement = t.back() == ';' || t.back() == '{' || t.back() == '}' ||
+                       t.back() == ':';
+    if (t.back() != ';') continue;
+    if (!at_start) continue;
+    if (t.find('(') != std::string::npos ||
+        t.find(')') != std::string::npos) {
+      continue;
+    }
+    if (has_any_token(t, {"const", "constexpr", "constinit", "extern"})) {
+      continue;
+    }
+    const bool is_static = find_token(t, "static") != std::string::npos;
+    bool is_ns_decl = false;
+    if (!is_static && at_ns[i]) {
+      const char first = t.front();
+      is_ns_decl =
+          first != '#' && first != '}' && first != '{' &&
+          !has_any_token(t, {"using", "typedef", "namespace", "class",
+                             "struct", "enum", "union", "template", "friend",
+                             "public", "private", "protected"}) &&
+          count_identifiers(t) >= 2;
+    }
+    if (!is_static && !is_ns_decl) continue;
+    if (!sup.allows(i, "mutable-global")) {
+      out.push_back(
+          {file.path, i + 1, "mutable-global",
+           std::string(is_static ? "static-local" : "namespace-scope") +
+               " mutable state survives across runs and breaks "
+               "reset()-rerun determinism; keep state in objects owned by "
+               "one run, or justify why this global is benign"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: shared-capture
+// ---------------------------------------------------------------------------
+
+/// The code view joined into one string, with a char -> line-index map so
+/// multi-line call expressions can be scanned while violations still pin
+/// exact lines.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_of;  ///< 0-based line per character
+};
+
+JoinedCode join_code(const SourceFile& file) {
+  JoinedCode joined;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    joined.text += file.code[i];
+    joined.text += '\n';
+    joined.line_of.resize(joined.text.size(), i);
+  }
+  return joined;
+}
+
+/// Position of the matching closer for the opener at `open`, or npos.
+std::size_t matching_close(const std::string& text, std::size_t open,
+                           char open_c, char close_c) {
+  int depth = 0;
+  for (std::size_t j = open; j < text.size(); ++j) {
+    if (text[j] == open_c) ++depth;
+    if (text[j] == close_c) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Names of variables bound to a by-reference-capturing lambda:
+/// `NAME = [&...](...)` (auto or std::function alike).
+std::set<std::string> ref_lambda_names(const std::string& text) {
+  std::set<std::string> names;
+  for (std::size_t eq = text.find('='); eq != std::string::npos;
+       eq = text.find('=', eq + 1)) {
+    // Plain assignment only: skip ==, !=, <=, >=, +=, ...
+    if (eq + 1 < text.size() && text[eq + 1] == '=') {
+      ++eq;
+      continue;
+    }
+    if (eq > 0 && std::string_view("=!<>+-*/%&|^").find(text[eq - 1]) !=
+                      std::string_view::npos) {
+      continue;
+    }
+    std::size_t j = eq + 1;
+    while (j < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[j])) != 0) {
+      ++j;
+    }
+    if (j >= text.size() || text[j] != '[') continue;
+    const std::size_t close = matching_close(text, j, '[', ']');
+    if (close == std::string::npos) continue;
+    if (text.substr(j, close - j).find('&') == std::string::npos) continue;
+    // Read the bound name backwards from the '='.
+    std::size_t e = eq;
+    while (e > 0 &&
+           std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+      --e;
+    }
+    std::size_t b = e;
+    while (b > 0 && is_ident_char(text[b - 1])) --b;
+    if (b < e) names.insert(text.substr(b, e - b));
+  }
+  return names;
+}
+
+void check_shared_capture(const SourceFile& file, const Suppressions& sup,
+                          std::vector<Violation>& out) {
+  const JoinedCode joined = join_code(file);
+  const std::set<std::string> lambda_names = ref_lambda_names(joined.text);
+  const auto report = [&](std::size_t pos, const std::string& what) {
+    const std::size_t line_idx = joined.line_of[pos];
+    if (sup.allows(line_idx, "shared-capture")) return;
+    out.push_back(
+        {file.path, line_idx + 1, "shared-capture",
+         what +
+             "; state crossing into TaskPool workers must be a "
+             "capability-annotated type, captured by value, or carry a "
+             "reasoned allow (e.g. disjoint-slot writes)"});
+  };
+
+  std::size_t pos = find_token(joined.text, "parallel_for");
+  while (pos != std::string::npos) {
+    std::size_t open = pos + std::string_view("parallel_for").size();
+    while (open < joined.text.size() &&
+           std::isspace(static_cast<unsigned char>(joined.text[open])) != 0) {
+      ++open;
+    }
+    if (open < joined.text.size() && joined.text[open] == '(') {
+      const std::size_t close =
+          matching_close(joined.text, open, '(', ')');
+      if (close != std::string::npos) {
+        const std::string args = joined.text.substr(open, close - open + 1);
+        // Inline lambdas: '[' directly after '(' or ',' is a lambda
+        // introducer (a subscript always follows an identifier or ')').
+        for (std::size_t j = 1; j + 1 < args.size(); ++j) {
+          if (args[j] != '[') continue;
+          std::size_t prev = j;
+          while (prev > 0 && std::isspace(static_cast<unsigned char>(
+                                 args[prev - 1])) != 0) {
+            --prev;
+          }
+          if (prev == 0 || (args[prev - 1] != '(' && args[prev - 1] != ','))
+            continue;
+          const std::size_t cap_close = matching_close(args, j, '[', ']');
+          if (cap_close == std::string::npos) continue;
+          if (args.substr(j, cap_close - j).find('&') != std::string::npos) {
+            report(open + j,
+                   "lambda handed to TaskPool::parallel_for captures by "
+                   "reference");
+          }
+          j = cap_close;
+        }
+        // Named lambdas declared in this file with a by-ref capture.
+        for (const std::string& name : lambda_names) {
+          const std::size_t hit = find_token(args, name);
+          if (hit != std::string::npos) {
+            report(open + hit,
+                   "'" + name +
+                       "' (a by-reference-capturing lambda) is handed to "
+                       "TaskPool::parallel_for");
+          }
+        }
+      }
+    }
+    pos = find_token(joined.text, "parallel_for", pos + 1);
+  }
+}
+
 /// Map from "suffix path" (e.g. "accounting/swap.hpp") to indices of files
 /// whose path ends with it — used to resolve quoted includes.
 std::map<std::string, std::size_t> build_path_index(
@@ -570,6 +862,15 @@ std::vector<Violation> lint_files(const std::vector<SourceFile>& files,
       }
       check_unordered_iteration(file, names, sup, out);
     }
+    if (rule_enabled(options, "naked-mutex")) {
+      check_naked_mutex(file, sup, out);
+    }
+    if (rule_enabled(options, "mutable-global")) {
+      check_mutable_global(file, namespace_scope_lines(file), sup, out);
+    }
+    if (rule_enabled(options, "shared-capture")) {
+      check_shared_capture(file, sup, out);
+    }
   }
 
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
@@ -614,6 +915,57 @@ std::string format(const Violation& v) {
   std::ostringstream out;
   out << v.file << ":" << v.line << ": " << v.rule << ": " << v.message;
   return out.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (RFC 8259). Hand-rolled so the lint
+/// library stays dependency-free — it must not link the simulator.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_json(const std::vector<Violation>& violations) {
+  std::string out = "{\"schema\":\"fairswap.lint.v1\",\"count\":";
+  out += std::to_string(violations.size());
+  out += ",\"violations\":[";
+  bool first = true;
+  for (const Violation& v : violations) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"rule\":";
+    append_json_string(out, v.rule);
+    out += ",\"file\":";
+    append_json_string(out, v.file);
+    out += ",\"line\":";
+    out += std::to_string(v.line);
+    out += ",\"reason\":";
+    append_json_string(out, v.message);
+    out += '}';
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace fairswap::lint

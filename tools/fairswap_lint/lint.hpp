@@ -23,6 +23,21 @@
 //   include-layering      quoted includes must respect the module DAG
 //                         (core never includes harness/agents, common
 //                         includes nothing, ...).
+//   mutable-global        namespace-scope / static-local mutable state.
+//                         Hidden globals survive across runs and break the
+//                         reset()-rerun determinism contract; the few
+//                         legitimate ones (log level, registries populated
+//                         before main) carry reasoned allows.
+//   naked-mutex           raw std::mutex / std::condition_variable /
+//                         std::lock_guard & friends. All locking goes
+//                         through the capability-annotated wrappers in
+//                         common/thread_annotations.hpp (the one
+//                         allowlisted file) so -Wthread-safety sees every
+//                         acquisition.
+//   shared-capture        a lambda handed to TaskPool::parallel_for that
+//                         captures by reference — the door through which
+//                         unsynchronized shared state reaches workers.
+//                         Disjoint-slot writers carry a reasoned allow.
 //
 // Suppression: a comment containing
 //     fairswap-lint: allow(<rule>) -- <reason>
@@ -81,5 +96,12 @@ std::vector<Violation> lint_tree(const std::filesystem::path& root,
 
 /// "file:line: rule: message" — the CLI output format.
 std::string format(const Violation& v);
+
+/// The full violation list as a JSON document (schema "fairswap.lint.v1"):
+///   {"schema":"fairswap.lint.v1","count":N,
+///    "violations":[{"rule":...,"file":...,"line":N,"reason":...},...]}
+/// Stable field order, violations pre-sorted by (file, line, rule) as
+/// lint_tree returns them. Used by --format=json for CI annotation tooling.
+std::string format_json(const std::vector<Violation>& violations);
 
 }  // namespace fairswap::lint
