@@ -17,7 +17,15 @@
 // accounting is bit-identical (the flow layer is purely temporal) and
 // reports the wall-clock overhead plus the FCT/saturation outputs.
 //
-// Part 4 — scale scenarios: nodes (default 10'000) on a bits (default 20)
+// Part 4 — workload engine throughput: pulls a request stream from the
+// plain DownloadGenerator and from a fully composed DemandEngine
+// (Zipf + flash crowd + diurnal modulation + upload mix), verifies the
+// default DemandConfig reproduces the plain stream bit-for-bit, and
+// reports ns/request for both plus the streaming-sketch summary of the
+// stream (chunks-per-request percentiles, occupied bins — the memory
+// bound — and the sketch fingerprint).
+//
+// Part 5 — scale scenarios: nodes (default 10'000) on a bits (default 20)
 // -bit address space across k in {4, 20}, driven through the parallel
 // multi-seed run_seeds path; prints fairness aggregates with error bars
 // plus the route accounting (delivered / failed / truncated). Each cell
@@ -25,12 +33,13 @@
 // ledger and cross-checks every ledger observable at scale.
 //
 // Outputs: scale_routing.csv, scale_totals.csv, and the machine-readable
-// BENCH_scale.json (schema fairswap.bench_scale.v1 — routing + ledger
-// throughput, equivalence verdicts, memory) that CI uploads as the
-// repo's bench trajectory artifact.
+// BENCH_scale.json (schema fairswap.bench_scale.v1 — routing + ledger +
+// workload throughput, equivalence verdicts, memory) that CI uploads as
+// the repo's bench trajectory artifact.
 //
 // Overrides: nodes=<n> bits=<n> files=<n> seeds=<count> threads=<max>
-//            routes=<n> flow_files=<n> seed=<n> out=<dir>
+//            routes=<n> flow_files=<n> workload_requests=<n> seed=<n>
+//            out=<dir>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -43,11 +52,13 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 #include "common/json.hpp"
+#include "common/stream_stats.hpp"
 #include "common/table.hpp"
 #include "core/multi_run.hpp"
 #include "core/simulation.hpp"
 #include "overlay/compiled_router.hpp"
 #include "overlay/forwarding.hpp"
+#include "workload/engine.hpp"
 
 namespace {
 
@@ -370,6 +381,100 @@ FlowBenchResult flow_bench(std::size_t k, std::size_t files,
   return result;
 }
 
+struct WorkloadBenchResult {
+  std::size_t requests{0};
+  double plain_ns{0};
+  double composed_ns{0};
+  /// A default DemandConfig reproduces the plain generator bit-for-bit.
+  bool default_identical{true};
+  double chunks_p50{0};
+  double chunks_p99{0};
+  std::size_t sketch_bins{0};
+  std::uint64_t sketch_fingerprint{0};
+
+  [[nodiscard]] double overhead() const { return composed_ns / plain_ns; }
+};
+
+/// Pulls `requests` from the plain DownloadGenerator and from a fully
+/// composed DemandEngine (Zipf + flash crowd + diurnal + upload mix) on
+/// the 1000-node paper topology, spot-checks the default-config
+/// bit-identity contract, and summarizes the composed stream through a
+/// PercentileSketch — the lazy-stream analogue of the routing/ledger
+/// microbenchmarks above.
+WorkloadBenchResult workload_bench(std::size_t requests, std::uint64_t seed) {
+  const auto cfg = core::paper_config(4, 1.0, 1, seed);
+  const auto topo = core::build_topology(cfg);
+  const workload::WorkloadConfig base = cfg.sim.workload;
+
+  WorkloadBenchResult result;
+  result.requests = requests;
+
+  // Contract spot check: the engine with a default DemandConfig is the
+  // plain generator, request for request.
+  {
+    workload::DownloadGenerator plain(topo, base, Rng(seed));
+    workload::DemandEngine engine(topo, base, workload::DemandConfig{},
+                                  Rng(seed));
+    const std::size_t verify = std::min<std::size_t>(2'000, requests);
+    for (std::size_t i = 0; i < verify; ++i) {
+      const auto a = plain.next();
+      const auto b = engine.next();
+      if (a.originator != b.originator || a.is_upload != b.is_upload ||
+          a.chunks != b.chunks) {
+        result.default_identical = false;
+      }
+    }
+  }
+
+  std::size_t plain_chunks = 0;
+  {
+    workload::DownloadGenerator plain(topo, base, Rng(seed));
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      plain_chunks += plain.next().chunks.size();
+    }
+    result.plain_ns =
+        seconds_since(start) * 1e9 / static_cast<double>(requests);
+  }
+
+  workload::DemandConfig demand;
+  demand.kind = workload::DemandConfig::Kind::kZipf;
+  demand.zipf_s = 0.9;
+  demand.burst_start = requests / 4;
+  demand.burst_files = std::max<std::uint64_t>(1, requests / 10);
+  demand.burst_share = 0.5;
+  demand.diurnal_period = 10'000.0;
+  demand.diurnal_amp = 0.3;
+  workload::WorkloadConfig mixed = base;
+  mixed.upload_share = 0.1;
+
+  std::size_t composed_chunks = 0;
+  PercentileSketch chunks_per_request;
+  double interarrival_sum = 0.0;
+  {
+    workload::DemandEngine engine(topo, mixed, demand, Rng(seed));
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      const auto req = engine.next();
+      composed_chunks += req.chunks.size();
+      chunks_per_request.add(static_cast<double>(req.chunks.size()));
+      interarrival_sum += engine.interarrival_for(i, 1.0);
+    }
+    result.composed_ns =
+        seconds_since(start) * 1e9 / static_cast<double>(requests);
+  }
+  // Keep both accumulation loops observable.
+  if (plain_chunks == 0 || composed_chunks == 0 || interarrival_sum <= 0.0) {
+    result.default_identical = false;
+  }
+
+  result.chunks_p50 = chunks_per_request.quantile(0.50);
+  result.chunks_p99 = chunks_per_request.quantile(0.99);
+  result.sketch_bins = chunks_per_request.histogram().bin_count();
+  result.sketch_fingerprint = chunks_per_request.fingerprint();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -463,7 +568,28 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", flow_table.render().c_str());
 
-  // --- Part 4: scale scenarios through the parallel run_seeds path. ---
+  // --- Part 4: workload-engine throughput on the paper topology. ---
+  const auto workload_requests = static_cast<std::size_t>(
+      args.cfg.get_or("workload_requests", std::uint64_t{200'000}));
+  bench::banner("Workload engine: plain generator vs composed demand "
+                "(1000 nodes, " +
+                std::to_string(workload_requests) + " requests)");
+  const auto wl = workload_bench(workload_requests, args.seed);
+  all_identical = all_identical && wl.default_identical;
+  TextTable workload_table({"stream", "ns/request", "overhead",
+                            "chunks p50", "chunks p99", "sketch bins",
+                            "default bit-identical"});
+  workload_table.add_row({"plain generator", TextTable::num(wl.plain_ns, 1),
+                          "1.00", "-", "-", "-",
+                          wl.default_identical ? "yes" : "NO"});
+  workload_table.add_row(
+      {"zipf+burst+diurnal+uploads", TextTable::num(wl.composed_ns, 1),
+       TextTable::num(wl.overhead(), 2), TextTable::num(wl.chunks_p50, 0),
+       TextTable::num(wl.chunks_p99, 0), std::to_string(wl.sketch_bins),
+       wl.default_identical ? "yes" : "NO"});
+  std::printf("%s", workload_table.render().c_str());
+
+  // --- Part 5: scale scenarios through the parallel run_seeds path. ---
   bench::banner("Scale scenarios (" + std::to_string(nodes) + " nodes, " +
                 std::to_string(bits) + "-bit space, " +
                 std::to_string(seed_count) + " seeds x " +
@@ -539,6 +665,7 @@ int main(int argc, char** argv) {
   json.field("seeds", seed_count);
   json.field("threads", threads);
   json.field("routes", route_count);
+  json.field("workload_requests", workload_requests);
   json.field("seed", args.seed);
   json.close();
   json.open_list("routing");
@@ -584,6 +711,17 @@ int main(int argc, char** argv) {
     json.close();
   }
   json.close_list();
+  json.open("workload");
+  json.field("requests", wl.requests);
+  json.field("plain_ns_per_request", wl.plain_ns);
+  json.field("composed_ns_per_request", wl.composed_ns);
+  json.field("overhead", wl.overhead());
+  json.field("chunks_p50", wl.chunks_p50);
+  json.field("chunks_p99", wl.chunks_p99);
+  json.field("sketch_bins", wl.sketch_bins);
+  json.field("sketch_fingerprint", wl.sketch_fingerprint);
+  json.field("default_identical", wl.default_identical);
+  json.close();
   json.open_list("scale");
   for (const auto& c : cell_rows) {
     json.open();
@@ -622,7 +760,8 @@ int main(int argc, char** argv) {
 
   if (!all_identical) {
     std::printf("ERROR: a derived path diverged from its reference "
-                "(routing, ledger and/or flow accounting)\n");
+                "(routing, ledger, flow accounting and/or workload "
+                "default-config identity)\n");
     return 1;
   }
   return 0;

@@ -23,7 +23,13 @@ std::size_t Histogram::bin_for(double value) const noexcept {
 }
 
 void Histogram::add(double value, std::uint64_t weight) noexcept {
-  counts_[bin_for(value)] += weight;
+  if (value < lo_) {
+    underflow_ += weight;
+  } else if (value >= hi_) {
+    overflow_ += weight;
+  } else {
+    counts_[bin_for(value)] += weight;
+  }
   total_ += weight;
 }
 

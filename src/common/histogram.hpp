@@ -10,9 +10,12 @@
 
 namespace fairswap {
 
-/// A histogram over [lo, hi) with `bins` equal-width bins. Values below lo
-/// land in the first bin; values at or above hi land in the last bin
-/// (clamping keeps totals conserved, which the Fig. 4 harness relies on).
+/// A histogram over [lo, hi) with `bins` equal-width bins. Out-of-range
+/// values are counted in the underflow/overflow split rather than folded
+/// into the edge bins (which silently distorted edge-bin shapes in
+/// streaming use); total() includes them, so the Fig. 4 total-conservation
+/// contract — every added weight is accounted for exactly once — holds
+/// regardless of the bounds.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -25,7 +28,14 @@ class Histogram {
   [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept {
     return counts_[bin];
   }
+  /// All added weight: in-range bins + underflow + overflow.
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Weight added below lo / at or above hi. Zero whenever the bounds
+  /// cover the data (e.g. histogram_of's data-derived bounds).
+  [[nodiscard]] std::uint64_t underflow() const noexcept {
+    return underflow_;
+  }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] double bin_width() const noexcept { return width_; }
@@ -35,7 +45,9 @@ class Histogram {
   [[nodiscard]] double bin_right(std::size_t bin) const noexcept;
   [[nodiscard]] double bin_center(std::size_t bin) const noexcept;
 
-  /// The bin a value maps to (after clamping).
+  /// The bin an *in-range* value maps to; out-of-range values clamp to
+  /// the nearest edge bin (add() routes those to the underflow/overflow
+  /// counters instead of calling this).
   [[nodiscard]] std::size_t bin_for(double value) const noexcept;
 
   /// Sum over bins of count*bin_width — the "area under the curve" the
@@ -55,6 +67,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_{0};
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
 };
 
 /// Builds a histogram from a sample, choosing bounds from the data

@@ -1,0 +1,19 @@
+#include "common/mem.hpp"
+
+#include <sys/resource.h>
+
+namespace fairswap {
+
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux reports kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+}
+
+}  // namespace fairswap

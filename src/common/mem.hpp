@@ -1,0 +1,16 @@
+// Process memory introspection for the bounded-memory contract checks:
+// the heavy_traffic scenario and the CI smoke gate assert that streaming
+// aggregation keeps peak RSS flat as request counts grow.
+#pragma once
+
+#include <cstdint>
+
+namespace fairswap {
+
+/// Peak resident set size of this process so far, in bytes, via
+/// getrusage(RUSAGE_SELF). Monotone over the process lifetime (the kernel
+/// reports a high-water mark, not current usage). Returns 0 where the
+/// platform reports nothing useful.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace fairswap

@@ -1,0 +1,178 @@
+#include "common/stream_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace fairswap {
+
+namespace {
+
+/// Floor division that is exact for negative keys (octave of a bin key).
+std::int32_t floor_div(std::int32_t a, std::int32_t b) noexcept {
+  std::int32_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+StreamingHistogram::StreamingHistogram(std::uint32_t sub_bins)
+    : sub_bins_(sub_bins) {
+  // Power-of-two resolution keeps the mantissa -> sub-bin scaling exact in
+  // binary floating point, so bin assignment is a pure function of the
+  // value's bits — the property every determinism contract here rests on.
+  if (sub_bins == 0 || (sub_bins & (sub_bins - 1)) != 0) {
+    throw std::invalid_argument(
+        "StreamingHistogram: sub_bins must be a power of two");
+  }
+}
+
+std::int32_t StreamingHistogram::key_for(double positive_value,
+                                         std::uint32_t sub_bins) noexcept {
+  int exp = 0;
+  const double m = std::frexp(positive_value, &exp);  // m in [0.5, 1)
+  // positive_value lies in octave [2^(exp-1), 2^exp); the normalized
+  // mantissa 2m in [1, 2) selects the linear sub-bin. (2m - 1) is exact
+  // (both representable), and scaling by a power-of-two sub_bins is exact
+  // too, so the floor is deterministic bit arithmetic.
+  const auto sub = static_cast<std::int32_t>(
+      (2.0 * m - 1.0) * static_cast<double>(sub_bins));
+  return (static_cast<std::int32_t>(exp) - 1) *
+             static_cast<std::int32_t>(sub_bins) +
+         sub;
+}
+
+double StreamingHistogram::bin_lower(std::int32_t key,
+                                     std::uint32_t sub_bins) noexcept {
+  const std::int32_t s = static_cast<std::int32_t>(sub_bins);
+  const std::int32_t octave = floor_div(key, s);
+  const std::int32_t sub = key - octave * s;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub) / static_cast<double>(sub_bins), octave);
+}
+
+double StreamingHistogram::bin_width(std::int32_t key,
+                                     std::uint32_t sub_bins) noexcept {
+  const std::int32_t octave =
+      floor_div(key, static_cast<std::int32_t>(sub_bins));
+  return std::ldexp(1.0 / static_cast<double>(sub_bins), octave);
+}
+
+void StreamingHistogram::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (!std::isfinite(value)) {
+    non_finite_ += weight;
+    return;
+  }
+  if (value == 0.0) {
+    zero_ += weight;
+  } else if (value > 0.0) {
+    pos_[key_for(value, sub_bins_)] += weight;
+  } else {
+    neg_[key_for(-value, sub_bins_)] += weight;
+  }
+  total_ += weight;
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  if (other.sub_bins_ != sub_bins_) {
+    throw std::invalid_argument(
+        "StreamingHistogram: cannot merge different sub-bin resolutions");
+  }
+  total_ += other.total_;
+  zero_ += other.zero_;
+  non_finite_ += other.non_finite_;
+  for (const auto& [key, count] : other.pos_) pos_[key] += count;
+  for (const auto& [key, count] : other.neg_) neg_[key] += count;
+}
+
+PercentileSketch::PercentileSketch(std::uint32_t sub_bins)
+    : histogram_(sub_bins) {}
+
+void PercentileSketch::add(double value, std::uint64_t weight) {
+  if (weight == 0 || !std::isfinite(value)) {
+    histogram_.add(value, weight);  // keeps the non_finite count honest
+    return;
+  }
+  if (histogram_.total() == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  histogram_.add(value, weight);
+}
+
+void PercentileSketch::merge(const PercentileSketch& other) {
+  if (other.count() != 0) {
+    if (count() == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  histogram_.merge(other.histogram_);
+}
+
+double PercentileSketch::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the order statistic the estimate targets: ceil(q * n),
+  // clamped to [1, n].
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  rank = std::clamp<std::uint64_t>(rank, 1, n);
+
+  double estimate = max_;
+  std::uint64_t seen = 0;
+  bool found = false;
+  histogram_.for_each_ascending(
+      [&](double representative, std::uint64_t bin_count) {
+        if (found) return;
+        seen += bin_count;
+        if (seen >= rank) {
+          estimate = representative;
+          found = true;
+        }
+      });
+  // The true order statistic lies within the found bin, whose half-width
+  // is at most |value| / (2 * sub_bins); clamping into the exact [min,
+  // max] envelope never widens that error.
+  return std::clamp(estimate, min_, max_);
+}
+
+std::uint64_t PercentileSketch::fingerprint() const noexcept {
+  // SplitMix64-style stateless mixing over the full state, in canonical
+  // (sorted) bin order. Deterministic across platforms: inputs are
+  // integers and IEEE bit patterns, never rounded arithmetic.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    std::uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  };
+  mix(histogram_.sub_bins());
+  mix(histogram_.total());
+  mix(histogram_.zero_count());
+  mix(histogram_.non_finite());
+  mix(count());
+  mix(std::bit_cast<std::uint64_t>(min()));
+  mix(std::bit_cast<std::uint64_t>(max()));
+  histogram_.for_each_ascending(
+      [&](double representative, std::uint64_t bin_count) {
+        mix(std::bit_cast<std::uint64_t>(representative));
+        mix(bin_count);
+      });
+  return h;
+}
+
+}  // namespace fairswap

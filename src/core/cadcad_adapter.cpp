@@ -10,7 +10,7 @@ engine::Engine<CadState, CadSignals> make_paper_engine() {
   // Policy: draw the next file request from the workload generator.
   download_block.policies.push_back(
       [](const CadState& state, std::uint64_t /*timestep*/, CadSignals& sig) {
-        sig.request = state.sim->generator_mut().next();
+        sig.request = state.sim->demand_mut().next();
         sig.has_request = true;
       });
 

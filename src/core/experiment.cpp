@@ -56,7 +56,7 @@ void drive_simulation(Simulation& sim, const ExperimentConfig& config,
   if (!config.trace_out.empty()) {
     workload::TraceRecorder recorder;
     for (std::size_t f = 0; f < config.files; ++f) {
-      const auto request = sim.generator_mut().next();
+      const auto request = sim.demand_mut().next();
       recorder.record(request);
       sim.apply(request);
     }
@@ -151,6 +151,21 @@ ExperimentResult package_experiment(const ExperimentConfig& config,
   result.settlement_count = sim.swap().settlements().size();
   for (const auto& c : sim.counters()) result.cache_serves += c.cache_serves;
   for (const double v : result.income_per_node) result.total_income += v;
+  if (sim.stream().hops.count() > 0) {
+    result.hops_p50 = sim.stream().hops.quantile(0.50);
+    result.hops_p99 = sim.stream().hops.quantile(0.99);
+  }
+  // Per-node tails through the same bounded-memory sketch heavy-traffic
+  // runs aggregate with, so the sink columns exercise one code path at
+  // every scale.
+  PercentileSketch served_sketch;
+  for (const std::uint64_t v : result.served_per_node) {
+    served_sketch.add(static_cast<double>(v));
+  }
+  result.served_p99 = served_sketch.quantile(0.99);
+  PercentileSketch income_sketch;
+  for (const double v : result.income_per_node) income_sketch.add(v);
+  result.income_p99 = income_sketch.quantile(0.99);
   result.outstanding_debt =
       static_cast<double>(sim.swap().outstanding_debt().base_units());
   result.runtime_seconds = runtime_seconds;

@@ -89,6 +89,14 @@ struct ExperimentResult {
   /// Unsettled SWAP debt left at the end of the run (base units) — the
   /// bandwidth that was provided but never produced income.
   double outstanding_debt{0.0};
+  /// Route-length percentiles from the streaming hop sketch (0 unless
+  /// sim.stream_metrics; error bound common/stream_stats).
+  double hops_p50{0.0};
+  double hops_p99{0.0};
+  /// Tail of the per-node chunks-served / income distributions, via the
+  /// same bounded-memory sketch the heavy-traffic runs use.
+  double served_p99{0.0};
+  double income_p99{0.0};
   double runtime_seconds{0.0};
 };
 

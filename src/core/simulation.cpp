@@ -91,8 +91,8 @@ void Simulation::seed_state(Rng rng) {
   Rng workload_rng = rng.split(1);
   Rng free_rider_rng = rng.split(2);
 
-  generator_ = std::make_unique<workload::DownloadGenerator>(
-      *topo_, config_.workload, workload_rng);
+  engine_ = std::make_unique<workload::DemandEngine>(
+      *topo_, config_.workload, config_.demand, workload_rng);
 
   free_riders_ = sample_free_riders(topo_->node_count(),
                                     config_.free_rider_share, free_rider_rng);
@@ -107,6 +107,8 @@ void Simulation::reset(Rng rng) {
     store = storage::ChunkStore(config_.cache_capacity);
   }
   refuse_service_.clear();
+  stream_ = StreamAggregates{};
+  arrival_tick_ = 0.0;
   if (flow_sim_) flow_sim_->reset();
   seed_state(rng);
 }
@@ -215,6 +217,7 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
     ++totals_.local_hits;
     ++totals_.delivered;
     ++counters_[route.originator()].local_hits;
+    if (config_.stream_metrics) record_hops(0.0);
     return true;
   }
 
@@ -256,6 +259,9 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
   if (from_cache) ++counters_[route.terminal()].cache_serves;
   ++counters_[route.first_hop()].chunks_served_first_hop;
   ++totals_.delivered;
+  if (config_.stream_metrics) {
+    record_hops(static_cast<double>(route.hops()));
+  }
   // The flow layer rides behind the final accounting decision: a flow
   // exists exactly for each delivered multi-hop chunk, so it can never
   // perturb counters or payments.
@@ -273,13 +279,32 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
   return true;
 }
 
+void Simulation::record_hops(double hops) {
+  stream_.hops.add(hops);
+  if (stream_.hops_sample.size() < config_.stream_sample_cap) {
+    stream_.hops_sample.push_back(hops);
+  }
+}
+
 void Simulation::apply(const workload::DownloadRequest& request) {
   if (request.is_upload) ++totals_.upload_files;
   // File i arrives at flow time i * interarrival: finish everything the
   // link capacities allowed before then, so this file's flows contend
-  // only with transfers genuinely still in the air.
+  // only with transfers genuinely still in the air. Under diurnal
+  // modulation the arrival clock is the cumulative modulated schedule
+  // instead; the unmodulated product form is kept verbatim so default
+  // flow runs stay bit-identical to the pre-engine path.
   if (flow_sim_) {
-    flow_sim_->advance_to(config_.flow.interarrival * totals_.files);
+    if (engine_->modulates_interarrival()) {
+      flow_sim_->advance_to(arrival_tick_);
+      arrival_tick_ +=
+          engine_->interarrival_for(totals_.files, config_.flow.interarrival);
+    } else {
+      flow_sim_->advance_to(config_.flow.interarrival * totals_.files);
+    }
+  }
+  if (config_.stream_metrics) {
+    stream_.chunks_per_file.add(static_cast<double>(request.chunks.size()));
   }
   // Without caches a route never depends on accounting state, so the
   // file's chunks can be routed as one interleaved batch (overlapping the
@@ -308,7 +333,7 @@ void Simulation::apply(const workload::DownloadRequest& request) {
   ++totals_.files;
 }
 
-void Simulation::step() { apply(generator_->next()); }
+void Simulation::step() { apply(engine_->next()); }
 
 void Simulation::run(std::size_t files) {
   for (std::size_t f = 0; f < files; ++f) step();

@@ -17,12 +17,13 @@
 #include "accounting/ledger.hpp"
 #include "accounting/pricing.hpp"
 #include "common/rng.hpp"
+#include "common/stream_stats.hpp"
 #include "incentives/policy.hpp"
 #include "net/flow.hpp"
 #include "overlay/forwarding.hpp"
 #include "overlay/topology.hpp"
 #include "storage/store.hpp"
-#include "workload/download_generator.hpp"
+#include "workload/engine.hpp"
 
 namespace fairswap::net {
 class FlowSimulator;
@@ -35,6 +36,19 @@ using overlay::NodeIndex;
 /// Simulation parameters beyond the topology.
 struct SimulationConfig {
   workload::WorkloadConfig workload{};
+  /// Demand-process composition over the base workload (Zipf popularity,
+  /// flash crowd, diurnal modulation — workload/engine). Defaults leave
+  /// every process off, which reproduces the plain DownloadGenerator
+  /// stream bit-for-bit.
+  workload::DemandConfig demand{};
+  /// Maintain the bounded-memory streaming aggregates (StreamAggregates:
+  /// hop-count and chunks-per-file percentile sketches) during the run.
+  /// Off by default — the hot path is untouched unless asked.
+  bool stream_metrics{false};
+  /// With stream_metrics: how many leading hop values to additionally
+  /// keep exactly, as the oracle subsample the heavy_traffic scenario
+  /// checks the sketch against. 0 keeps none.
+  std::size_t stream_sample_cap{0};
   accounting::SwapConfig swap{};
   /// Pricer name: "xor-distance" (default, paper), "proximity", "flat".
   std::string pricer{"xor-distance"};
@@ -139,6 +153,27 @@ struct SimulationTotals {
                          const SimulationTotals&) = default;
 };
 
+/// Bounded-memory streaming aggregates maintained when
+/// SimulationConfig::stream_metrics is set: per-request distributions as
+/// log-binned percentile sketches (common/stream_stats) instead of
+/// per-request scalars, so 10M+ request runs hold O(bins), not
+/// O(requests). Merge shards in canonical order for bit-identical
+/// multi-shard folds.
+struct StreamAggregates {
+  /// Route length per delivered chunk (0 for local hits).
+  PercentileSketch hops;
+  /// Requested chunks per applied file.
+  PercentileSketch chunks_per_file;
+  /// The first SimulationConfig::stream_sample_cap hop values, exact —
+  /// the oracle subsample for the sketch's error-bound check.
+  std::vector<double> hops_sample;
+
+  void merge(const StreamAggregates& other) {
+    hops.merge(other.hops);
+    chunks_per_file.merge(other.chunks_per_file);
+  }
+};
+
 /// A running simulation over a shared topology. The topology must outlive
 /// the simulation.
 class Simulation {
@@ -222,13 +257,23 @@ class Simulation {
       const noexcept {
     return router_.get();
   }
+  /// The base request generator (originator subset, catalog).
   [[nodiscard]] const workload::DownloadGenerator& generator() const noexcept {
-    return *generator_;
+    return engine_->base();
   }
-  /// Mutable generator access for external drivers (the cadCAD adapter's
-  /// policy function draws requests itself).
-  [[nodiscard]] workload::DownloadGenerator& generator_mut() noexcept {
-    return *generator_;
+  /// The demand engine the simulation pulls requests from.
+  [[nodiscard]] const workload::DemandEngine& demand() const noexcept {
+    return *engine_;
+  }
+  /// Mutable demand-engine access for external drivers (trace recording
+  /// and the cadCAD adapter's policy function draw requests themselves —
+  /// through the engine, so demand processes are in what they record).
+  [[nodiscard]] workload::DemandEngine& demand_mut() noexcept {
+    return *engine_;
+  }
+  /// The streaming aggregates (empty unless config().stream_metrics).
+  [[nodiscard]] const StreamAggregates& stream() const noexcept {
+    return stream_;
   }
   [[nodiscard]] const std::vector<storage::ChunkStore>& stores()
       const noexcept {
@@ -263,6 +308,10 @@ class Simulation {
   /// Request-header bookkeeping shared by the per-chunk and batched paths.
   void note_request(NodeIndex originator, bool is_upload);
 
+  /// Streaming-metrics bookkeeping for one delivered chunk (call only
+  /// when config_.stream_metrics).
+  void record_hops(double hops);
+
   /// Applies all post-routing accounting (failure counters, policy admit,
   /// transmission counters, relay caching, payment) for one routed chunk.
   /// `is_upload` orients the strategic-refusal walk (the data direction).
@@ -284,7 +333,7 @@ class Simulation {
   accounting::Ledger swap_;
   std::unique_ptr<accounting::Pricer> pricer_;
   std::unique_ptr<incentives::PaymentPolicy> policy_;
-  std::unique_ptr<workload::DownloadGenerator> generator_;
+  std::unique_ptr<workload::DemandEngine> engine_;
   std::vector<storage::ChunkStore> stores_;
   std::vector<NodeCounters> counters_;
   std::vector<std::uint8_t> free_riders_;
@@ -292,6 +341,13 @@ class Simulation {
   /// Empty unless injected — the zero-cost default for classic runs.
   std::vector<std::uint8_t> refuse_service_;
   SimulationTotals totals_;
+  /// Streaming aggregates (maintained only when config_.stream_metrics).
+  StreamAggregates stream_;
+  /// Cumulative flow arrival time under diurnal modulation: file i
+  /// arrives at sum of the first i modulated interarrivals. Without
+  /// modulation the classic `interarrival * files` product is used, so
+  /// default flow runs stay bit-identical to the pre-engine path.
+  double arrival_tick_{0.0};
   /// The flow-level temporal layer; null unless config_.flow_level.
   std::unique_ptr<net::FlowSimulator> flow_sim_;
   incentives::PolicyContext ctx_;

@@ -288,6 +288,92 @@ BindingTable::BindingTable() {
         return format_double(c.sim.workload.catalog_zipf_alpha);
       });
 
+  // --- heavy-traffic demand processes (src/workload/engine) --------------
+
+  add("demand", "demand process: uniform | zipf (catalog popularity)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        if (v != "uniform" && v != "zipf") {
+          return "demand: unknown value '" + v +
+                 "' (expected one of uniform zipf)";
+        }
+        c.sim.demand.kind = workload::parse_demand_kind(v);
+        return {};
+      },
+      +[](const Cfg& c) {
+        return workload::demand_kind_name(c.sim.demand.kind);
+      });
+
+  add("zipf_s", "Zipf exponent over catalog ranks (demand=zipf)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("zipf_s", v, "a number");
+        if (*p < 0.0) return "zipf_s: must be non-negative";
+        c.sim.demand.zipf_s = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return format_double(c.sim.demand.zipf_s); });
+
+  add("burst_start", "request index opening the flash-crowd window",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("burst_start", v, "a request index");
+        c.sim.demand.burst_start = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.demand.burst_start); });
+
+  add("burst_files", "flash-crowd window length in requests (0 = off)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_u64(v);
+        if (!p) return bad("burst_files", v, "a request count");
+        c.sim.demand.burst_files = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return std::to_string(c.sim.demand.burst_files); });
+
+  add("burst_share", "probability a window request hits the hot file, [0, 1]",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.sim.demand.burst_share, "burst_share", v,
+                         /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) { return format_double(c.sim.demand.burst_share); });
+
+  add("diurnal_period", "diurnal cycle length in requests (0 = off)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("diurnal_period", v, "a number");
+        if (*p < 0.0) return "diurnal_period: must be non-negative";
+        c.sim.demand.diurnal_period = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return format_double(c.sim.demand.diurnal_period); });
+
+  add("diurnal_amp", "interarrival swing around the mean, [0, 1)",
+      +[](Cfg& c, const std::string& v) -> std::string {
+        const auto p = parse_double(v);
+        if (!p) return bad("diurnal_amp", v, "a number");
+        if (*p < 0.0 || *p >= 1.0) return "diurnal_amp: must be in [0, 1)";
+        c.sim.demand.diurnal_amp = *p;
+        return {};
+      },
+      +[](const Cfg& c) { return format_double(c.sim.demand.diurnal_amp); });
+
+  add("upload_mix", "alias of upload_share (demand-engine vocabulary)",
+      +[](Cfg& c, const std::string& v) {
+        return set_share(c.sim.workload.upload_share, "upload_mix", v,
+                         /*allow_zero=*/true);
+      },
+      +[](const Cfg& c) { return format_double(c.sim.workload.upload_share); });
+
+  add("stream_metrics",
+      "maintain bounded-memory streaming aggregates (hop/file sketches)",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.sim.stream_metrics, "stream_metrics", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.sim.stream_metrics ? "true" : "false");
+      });
+
   add("pricer", "chunk pricer: xor-distance | proximity | flat",
       +[](Cfg& c, const std::string& v) {
         return set_name(c.sim.pricer, "pricer", v,
@@ -420,6 +506,14 @@ BindingTable::BindingTable() {
       },
       +[](const Cfg& c) { return std::to_string(c.sim.flow.timeout); });
 
+  add("bounded_fct", "record FCTs in a bounded-memory percentile sketch",
+      +[](Cfg& c, const std::string& v) {
+        return set_bool(c.sim.flow.bounded_fct, "bounded_fct", v);
+      },
+      +[](const Cfg& c) {
+        return std::string(c.sim.flow.bounded_fct ? "true" : "false");
+      });
+
   // --- strategic-agents epoch game (src/agents) --------------------------
 
   add("epochs", "strategy-revision epochs (0 = no epoch game)",
@@ -497,8 +591,12 @@ BindingTable::BindingTable() {
       +[](const Cfg& c) { return c.trace_in; });
 
   // Mark the workload-generation keys (see Binding::workload_generation).
+  // The diurnal keys are deliberately absent: they modulate flow *timing*
+  // only, never the request stream, so they stay sweepable under replay.
   for (const char* key : {"files", "originators", "min_chunks", "max_chunks",
-                          "upload_share", "zipf", "catalog", "catalog_zipf"}) {
+                          "upload_share", "zipf", "catalog", "catalog_zipf",
+                          "demand", "zipf_s", "burst_start", "burst_files",
+                          "burst_share", "upload_mix"}) {
     for (Binding& binding : bindings_) {
       if (binding.key == key) binding.workload_generation = true;
     }
@@ -567,6 +665,14 @@ std::string validate(const core::ExperimentConfig& cfg) {
   if (!cfg.trace_in.empty() && !cfg.trace_out.empty()) {
     return "trace_in: cannot record and replay in the same run (drop "
            "trace_out)";
+  }
+  if (cfg.sim.demand.diurnal_amp > 0.0 &&
+      cfg.sim.demand.diurnal_period <= 0.0) {
+    return "diurnal_amp: requires diurnal_period > 0";
+  }
+  if (cfg.sim.demand.kind == workload::DemandConfig::Kind::kZipf &&
+      cfg.sim.demand.catalog == 0 && cfg.sim.workload.catalog_size == 0) {
+    return "demand: zipf demand needs a catalog (set catalog=)";
   }
   return {};
 }

@@ -310,6 +310,7 @@ void register_builtin_scenarios() {
                   2'000, &scenario_variance, {"seeds"}});
     register_agent_scenarios();
     register_flow_scenarios();
+    register_heavy_scenarios();
     return true;
   }();
   (void)registered;

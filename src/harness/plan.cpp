@@ -1,9 +1,11 @@
 #include "harness/plan.hpp"
 
 #include <array>
+#include <chrono>
 #include <optional>
 #include <thread>
 
+#include "agents/epoch.hpp"
 #include "core/task_pool.hpp"
 #include "harness/binding.hpp"
 
@@ -26,9 +28,12 @@ std::string assignment_label(
 
 /// The per-(run, seed) scalars run_plan keeps — everything MetricStats
 /// folds, nothing per-node. Must stay in sync with fold_cell/add_cell.
-using Cell = std::array<double, 19>;
+using Cell = std::array<double, 25>;
 
-Cell extract(const core::ExperimentResult& r) {
+/// `final_prevalence`/`converged_epoch` come from the epoch game on
+/// agents-aware runs (-1 = did not converge); both are 0 on flat runs.
+Cell extract(const core::ExperimentResult& r, double final_prevalence,
+             double converged_epoch) {
   return Cell{r.fairness.gini_f2,
               r.fairness.gini_f1,
               r.fairness.gini_f1_income,
@@ -47,7 +52,13 @@ Cell extract(const core::ExperimentResult& r) {
               r.totals.fct_mean,
               static_cast<double>(r.totals.flows_timed_out),
               static_cast<double>(r.totals.saturated_links),
-              r.runtime_seconds};
+              r.runtime_seconds,
+              r.hops_p50,
+              r.hops_p99,
+              r.served_p99,
+              r.income_p99,
+              final_prevalence,
+              converged_epoch};
 }
 
 void fold_cell(MetricStats& stats, const Cell& cell) {
@@ -70,6 +81,37 @@ void fold_cell(MetricStats& stats, const Cell& cell) {
   stats.flows_timed_out.add(cell[16]);
   stats.saturated_links.add(cell[17]);
   stats.runtime_s.add(cell[18]);
+  stats.hops_p50.add(cell[19]);
+  stats.hops_p99.add(cell[20]);
+  stats.served_p99.add(cell[21]);
+  stats.income_p99.add(cell[22]);
+  stats.final_prevalence.add(cell[23]);
+  stats.converged_epoch.add(cell[24]);
+}
+
+/// One (run, seed) cell. Flat configs run a plain experiment; configs
+/// with epochs > 0 run the strategic-agents epoch game over the shared
+/// topology (Simulation::reset reuses the compiled arenas every epoch)
+/// and report the final epoch's state plus the equilibrium outputs —
+/// the PR-5 "agents-aware sweep" gap.
+Cell run_cell(const overlay::Topology& topo, core::ExperimentConfig cfg) {
+  if (cfg.agents.epochs == 0) {
+    return extract(core::run_experiment(topo, cfg), 0.0, 0.0);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  agents::EpochDriver driver(topo, cfg);
+  const agents::EpochSeries series = driver.run();
+  const double runtime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // After run() the simulation still holds the final epoch's play — the
+  // equilibrium snapshot package_experiment turns into Gini/income/route
+  // metrics.
+  const core::ExperimentResult result =
+      core::package_experiment(cfg, driver.simulation(), runtime);
+  const double converged =
+      series.converged ? static_cast<double>(series.converged_epoch) : -1.0;
+  return extract(result, series.final_prevalence, converged);
 }
 
 }  // namespace
@@ -170,19 +212,25 @@ bool expand(const ExperimentPlan& plan, std::vector<PlannedRun>& out,
     out.push_back(std::move(run));
   }
 
-  // The plan path runs flat experiments: it never consults
-  // ExperimentConfig::agents, so letting an epoch key through would
-  // produce identical cells that *look* like a parameter sweep — the
-  // silent-no-op class expand() already rejects for a 'seed' axis.
-  // Epoch games run through the equilibrium/invasion scenarios; an
-  // agents-aware sweep sink is a ROADMAP item.
+  // Agents-aware sweeps: epochs > 0 switches a cell onto the epoch-game
+  // path (run_cell). Setting the other agent knobs without epochs= would
+  // silently run flat cells that ignore them — the same silent-no-op
+  // class expand() rejects for a 'seed' axis — so demand the switch.
+  // Epoch cells generate their own per-epoch workload, which a recorded
+  // or replayed trace cannot represent.
   for (const PlannedRun& run : out) {
-    if (!(run.config.agents == core::AgentsConfig{})) {
-      error =
-          "epochs/files_per_epoch/dynamics/revision_rate/noise/"
-          "bandwidth_cost/initial_free_riders: sweeps run flat experiments "
-          "and ignore the epoch game; use the equilibrium/invasion "
-          "scenarios (agents-aware sweeps are a ROADMAP item)";
+    if (run.config.agents.epochs == 0) {
+      if (!(run.config.agents == core::AgentsConfig{})) {
+        error =
+            "files_per_epoch/dynamics/revision_rate/noise/bandwidth_cost/"
+            "initial_free_riders shape the epoch game; set epochs= (or an "
+            "epochs axis) to run agents-aware cells";
+        return false;
+      }
+    } else if (!run.config.trace_in.empty() ||
+               !run.config.trace_out.empty()) {
+      error = "epochs: the epoch game generates one workload per epoch and "
+              "cannot record or replay a trace (drop trace_in/trace_out)";
       return false;
     }
   }
@@ -293,8 +341,7 @@ bool run_plan(const ExperimentPlan& plan, std::span<MetricSink* const> sinks,
     for (const std::size_t run_index : groups[group]) {
       core::ExperimentConfig cfg = runs[run_index].config;
       cfg.seed = seed;
-      cells[run_index * seeds + seed_index] =
-          extract(core::run_experiment(topo, cfg));
+      cells[run_index * seeds + seed_index] = run_cell(topo, cfg);
     }
   };
 

@@ -79,6 +79,10 @@ void register_agent_scenarios();
 /// flow_scenarios.cpp): flow_fct.
 void register_flow_scenarios();
 
+/// The heavy-traffic half of register_builtin_scenarios (harness/
+/// heavy_scenarios.cpp): heavy_traffic.
+void register_heavy_scenarios();
+
 /// Parses argv into a ScenarioContext (surfacing Config::last_error() as
 /// a hard error, not a silent default) and runs the named scenario.
 /// Returns the scenario's exit code, or 2 on unknown scenario / malformed

@@ -55,9 +55,22 @@ struct MetricStats {
   RunningStats flows_timed_out;
   RunningStats saturated_links;
   RunningStats runtime_s;
+  // Streaming-sketch percentiles (common/stream_stats); hops_* are 0
+  // unless stream_metrics= is on.
+  RunningStats hops_p50;
+  RunningStats hops_p99;
+  RunningStats served_p99;
+  RunningStats income_p99;
+  // Agents-aware sweep outputs (epochs= on the sweep path): final
+  // free-rider prevalence and the convergence epoch (-1 when the epoch
+  // game did not converge; both 0 on flat runs).
+  RunningStats final_prevalence;
+  RunningStats converged_epoch;
 
   /// Visits every metric as (name, stats), in the fixed schema order the
   /// CSV and JSON sinks emit. Adding a metric here adds it to every sink.
+  /// New metrics are appended at the end so existing column prefixes stay
+  /// stable for downstream readers.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     fn("gini_f2", gini_f2);
@@ -79,6 +92,12 @@ struct MetricStats {
     fn("flows_timed_out", flows_timed_out);
     fn("saturated_links", saturated_links);
     fn("runtime_s", runtime_s);
+    fn("hops_p50", hops_p50);
+    fn("hops_p99", hops_p99);
+    fn("served_p99", served_p99);
+    fn("income_p99", income_p99);
+    fn("final_prevalence", final_prevalence);
+    fn("converged_epoch", converged_epoch);
   }
 };
 

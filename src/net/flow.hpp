@@ -48,6 +48,13 @@ struct FlowConfig {
   /// counted as timed out; 0 disables timeouts. Timeouts are a temporal
   /// statistic only — accounting already happened at request time.
   engine::SimTime timeout{0};
+  /// Record flow-completion times in a bounded-memory percentile sketch
+  /// (common/stream_stats, relative error <= 1/(2*64)) instead of the
+  /// exact per-flow sample vector. Off by default so existing runs keep
+  /// exact percentiles; heavy-traffic runs switch it on so FCT memory is
+  /// O(occupied bins), not O(completed flows). The mean stays exact
+  /// either way (integer tick sum).
+  bool bounded_fct{false};
 
   friend bool operator==(const FlowConfig&, const FlowConfig&) = default;
 };

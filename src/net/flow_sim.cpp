@@ -129,7 +129,13 @@ void FlowSimulator::finish_flow(FlowId flow, bool completed) {
   const double transferred = 1.0 - std::max(m.remaining, 0.0);
   for (const LinkId l : net_.flow_links(flow)) link_volume_[l] += transferred;
   if (completed) {
-    fct_.push_back(progressed_ - m.start);
+    if (config_.bounded_fct) {
+      const engine::SimTime fct = progressed_ - m.start;
+      fct_sketch_.add(static_cast<double>(fct));
+      fct_ticks_sum_ += fct;
+    } else {
+      fct_.push_back(progressed_ - m.start);
+    }
   } else {
     ++timed_out_;
   }
@@ -200,6 +206,8 @@ void FlowSimulator::reset() {
   meta_.clear();
   link_volume_.assign(net_.link_count(), 0.0);
   fct_.clear();
+  fct_sketch_ = PercentileSketch{};
+  fct_ticks_sum_ = 0;
   finished_buf_.clear();
   progressed_ = 0;
   makespan_ = 0;
@@ -212,11 +220,19 @@ void FlowSimulator::reset() {
 FlowReport FlowSimulator::report() const {
   FlowReport r;
   r.started = started_;
-  r.completed = fct_.size();
+  r.completed = config_.bounded_fct ? fct_sketch_.count() : fct_.size();
   r.timed_out = timed_out_;
   r.saturated_links = net_.ever_saturated_count();
   r.makespan = makespan_;
-  if (!fct_.empty()) {
+  if (config_.bounded_fct) {
+    if (fct_sketch_.count() > 0) {
+      r.fct_p50 = fct_sketch_.quantile(0.50);
+      r.fct_p90 = fct_sketch_.quantile(0.90);
+      r.fct_p99 = fct_sketch_.quantile(0.99);
+      r.fct_mean = static_cast<double>(fct_ticks_sum_) /
+                   static_cast<double>(fct_sketch_.count());
+    }
+  } else if (!fct_.empty()) {
     std::vector<double> sorted(fct_.begin(), fct_.end());
     std::sort(sorted.begin(), sorted.end());
     r.fct_p50 = percentile_sorted(sorted, 0.50);

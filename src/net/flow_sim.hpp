@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/stream_stats.hpp"
 #include "engine/event_queue.hpp"
 #include "net/flow.hpp"
 #include "overlay/compiled_router.hpp"
@@ -38,8 +39,10 @@ struct FlowReport {
   std::uint64_t started{0};
   std::uint64_t completed{0};
   std::uint64_t timed_out{0};
-  /// Flow-completion-time percentiles and mean, in ticks (exact, from the
-  /// full sample set; 0 when nothing completed).
+  /// Flow-completion-time percentiles and mean, in ticks (0 when nothing
+  /// completed). Exact from the full sample set by default; within the
+  /// sketch's documented error bound under FlowConfig::bounded_fct (the
+  /// mean stays exact either way).
   double fct_p50{0.0};
   double fct_p90{0.0};
   double fct_p99{0.0};
@@ -93,9 +96,15 @@ class FlowSimulator {
   }
   [[nodiscard]] const FlowConfig& config() const noexcept { return config_; }
   /// Completion times of all finished flows, in completion order (ticks).
+  /// Stays empty under config().bounded_fct — use fct_sketch() there.
   [[nodiscard]] const std::vector<engine::SimTime>& fct_samples()
       const noexcept {
     return fct_;
+  }
+  /// The bounded-memory FCT distribution (populated only under
+  /// config().bounded_fct).
+  [[nodiscard]] const PercentileSketch& fct_sketch() const noexcept {
+    return fct_sketch_;
   }
 
  private:
@@ -126,6 +135,10 @@ class FlowSimulator {
   std::vector<Meta> meta_;
   std::vector<double> link_volume_;  ///< chunks delivered over each link
   std::vector<engine::SimTime> fct_;
+  /// Bounded-memory FCT aggregation (config_.bounded_fct): log-binned
+  /// sketch for percentiles plus an exact integer tick sum for the mean.
+  PercentileSketch fct_sketch_;
+  std::uint64_t fct_ticks_sum_{0};
   std::vector<LinkId> links_buf_;
   std::vector<FlowId> finished_buf_;
   engine::SimTime progressed_{0};  ///< time `remaining` values refer to

@@ -28,15 +28,30 @@ TEST(Histogram, ValuesLandInCorrectBins) {
   EXPECT_EQ(h.count(4), 1u);
 }
 
-TEST(Histogram, OutOfRangeValuesClampToEdgeBins) {
+TEST(Histogram, OutOfRangeValuesSplitIntoUnderflowAndOverflow) {
   Histogram h(10.0, 20.0, 2);
   h.add(-100.0);
   h.add(5.0);
   h.add(20.0);
   h.add(1e9);
-  EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(1), 2u);
+  // Out-of-range values no longer distort the edge-bin shapes...
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  // ...but every added weight is still accounted for exactly once.
   EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflowCarryWeights) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1.0, 7);
+  h.add(2.0, 9);
+  h.add(0.5, 3);
+  EXPECT_EQ(h.underflow(), 7u);
+  EXPECT_EQ(h.overflow(), 9u);
+  EXPECT_EQ(h.count(2), 3u);
+  EXPECT_EQ(h.total(), 19u);
 }
 
 TEST(Histogram, WeightsAccumulate) {
@@ -52,9 +67,26 @@ TEST(Histogram, TotalIsConserved) {
   Histogram h(0.0, 1.0, 7);
   for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) * 37.0);
   EXPECT_EQ(h.total(), 100u);
-  std::uint64_t sum = 0;
+  std::uint64_t sum = h.underflow() + h.overflow();
   for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.count(b);
   EXPECT_EQ(sum, 100u);
+}
+
+// The Fig. 4 harness builds histograms with data-derived bounds
+// (histogram_of / served_histograms: lo = 0, hi = max + headroom), so the
+// underflow/overflow split must stay empty there and the area comparison
+// must see every sample — the regression contract for the clamping change.
+TEST(HistogramOf, DataDerivedBoundsNeverUnderOrOverflow) {
+  const std::vector<std::uint64_t> v{0, 3, 17, 92, 92, 1024};
+  const Histogram h = histogram_of(v, 8);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), v.size());
+  std::uint64_t binned = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned, v.size());
+  EXPECT_DOUBLE_EQ(h.area(),
+                   static_cast<double>(v.size()) * h.bin_width());
 }
 
 TEST(Histogram, AreaIsCountTimesWidth) {

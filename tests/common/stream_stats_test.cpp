@@ -1,0 +1,261 @@
+// The differential suite for common/stream_stats: every quantile the
+// sketch reports must land within its documented relative error bound of
+// a sort-based oracle (randomized and adversarial heavy-tail inputs), and
+// shard merges must be bit-order-invariant — the two contracts the
+// heavy-traffic pipeline rests on.
+#include "common/stream_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fairswap {
+namespace {
+
+/// Exact rank-ceil(q*n) order statistic over a sorted sample — the same
+/// rank convention PercentileSketch::quantile documents.
+double oracle_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+/// Asserts every probed quantile of `values` is within the sketch's
+/// documented relative error bound of the exact order statistic.
+void expect_within_bound(const std::vector<double>& values) {
+  PercentileSketch sketch;
+  for (const double v : values) sketch.add(v);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double bound = sketch.relative_error_bound();
+  for (const double q :
+       {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const double exact = oracle_quantile(sorted, q);
+    const double est = sketch.quantile(q);
+    EXPECT_LE(std::abs(est - exact), bound * std::abs(exact) + 1e-12)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(PercentileSketch, EmptyReportsZeroEverywhere) {
+  const PercentileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(PercentileSketch, DocumentedBoundIsHalfSubBinWidth) {
+  const PercentileSketch s;  // default S = 64
+  EXPECT_DOUBLE_EQ(s.relative_error_bound(), 1.0 / 128.0);
+}
+
+TEST(PercentileSketch, ExtremeQuantilesAreExactMinMax) {
+  PercentileSketch s;
+  s.add(3.7);
+  s.add(1234.5);
+  s.add(0.002);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.002);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1234.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.002);
+  EXPECT_DOUBLE_EQ(s.max(), 1234.5);
+}
+
+TEST(PercentileSketch, DifferentialRandomizedUniform) {
+  Rng rng(7);
+  std::vector<double> values;
+  values.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) values.push_back(rng.uniform(0.1, 900.0));
+  expect_within_bound(values);
+}
+
+TEST(PercentileSketch, DifferentialRandomizedSmallIntegers) {
+  // The hop-count regime: tiny integers with heavy ties and zeros.
+  Rng rng(11);
+  std::vector<double> values;
+  values.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    values.push_back(static_cast<double>(rng.next_below(9)));
+  }
+  expect_within_bound(values);
+}
+
+TEST(PercentileSketch, DifferentialAdversarialHeavyTail) {
+  // Pareto-like tail spanning ~20 orders of magnitude: the regime where a
+  // fixed-width histogram collapses and only the log binning keeps the
+  // relative bound.
+  Rng rng(23);
+  std::vector<double> values;
+  values.reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) {
+    const double u = 1.0 - rng.uniform01();  // (0, 1]
+    values.push_back(1.0 / (u * u * u * u * u));
+  }
+  expect_within_bound(values);
+}
+
+TEST(PercentileSketch, DifferentialAdversarialBinEdges) {
+  // Values placed exactly on octave and sub-bin boundaries — the worst
+  // case for any off-by-one in the frexp bin assignment.
+  std::vector<double> values;
+  for (int e = -8; e <= 8; ++e) {
+    for (std::uint32_t sub = 0; sub < 64; sub += 7) {
+      values.push_back(std::ldexp(1.0 + sub / 64.0, e));
+    }
+  }
+  expect_within_bound(values);
+}
+
+TEST(PercentileSketch, DifferentialMixedSigns) {
+  Rng rng(31);
+  std::vector<double> values;
+  for (int i = 0; i < 10'000; ++i) values.push_back(rng.uniform(-50.0, 50.0));
+  for (int i = 0; i < 100; ++i) values.push_back(0.0);
+  expect_within_bound(values);
+}
+
+TEST(PercentileSketch, ZeroIsRepresentedExactly) {
+  PercentileSketch s;
+  for (int i = 0; i < 100; ++i) s.add(0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.histogram().zero_count(), 100u);
+}
+
+TEST(PercentileSketch, WeightsCountAsRepeats) {
+  PercentileSketch weighted, repeated;
+  Rng rng(43);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.5, 80.0);
+    const std::uint64_t w = 1 + rng.next_below(9);
+    weighted.add(v, w);
+    for (std::uint64_t j = 0; j < w; ++j) repeated.add(v);
+  }
+  EXPECT_EQ(weighted, repeated);
+  EXPECT_EQ(weighted.fingerprint(), repeated.fingerprint());
+}
+
+TEST(PercentileSketch, MergeOrderInvariantToTheBit) {
+  // Eight shards of distinct data, folded in three different orders: the
+  // results must be equal in every bit of state (operator== compares the
+  // full bin maps and the min/max doubles; the fingerprints digest them).
+  std::vector<PercentileSketch> shards(8);
+  Rng rng(57);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const int n = 100 + static_cast<int>(rng.next_below(900));
+    for (int i = 0; i < n; ++i) {
+      shards[s].add(rng.uniform(-10.0, 1000.0));
+    }
+  }
+  PercentileSketch forward, reverse, interleaved;
+  for (std::size_t s = 0; s < shards.size(); ++s) forward.merge(shards[s]);
+  for (std::size_t s = shards.size(); s-- > 0;) reverse.merge(shards[s]);
+  for (std::size_t s = 0; s < shards.size(); s += 2) {
+    interleaved.merge(shards[s]);
+  }
+  for (std::size_t s = 1; s < shards.size(); s += 2) {
+    interleaved.merge(shards[s]);
+  }
+  EXPECT_EQ(forward, reverse);
+  EXPECT_EQ(forward, interleaved);
+  EXPECT_EQ(forward.fingerprint(), reverse.fingerprint());
+  EXPECT_EQ(forward.fingerprint(), interleaved.fingerprint());
+}
+
+TEST(PercentileSketch, MergedShardsEqualSingleSketch) {
+  Rng rng(61);
+  PercentileSketch whole;
+  std::vector<PercentileSketch> shards(4);
+  for (int i = 0; i < 4'000; ++i) {
+    const double v = rng.uniform(0.01, 500.0);
+    whole.add(v);
+    shards[static_cast<std::size_t>(i) % 4].add(v);
+  }
+  PercentileSketch merged;
+  for (const PercentileSketch& s : shards) merged.merge(s);
+  EXPECT_EQ(whole, merged);
+  EXPECT_EQ(whole.fingerprint(), merged.fingerprint());
+}
+
+TEST(PercentileSketch, MergeResolutionMismatchThrows) {
+  PercentileSketch coarse(32), fine(64);
+  coarse.add(1.0);
+  fine.add(1.0);
+  EXPECT_THROW(coarse.merge(fine), std::invalid_argument);
+}
+
+TEST(PercentileSketch, NonFiniteValuesAreCountedNotBinned) {
+  PercentileSketch s;
+  s.add(std::numeric_limits<double>::quiet_NaN());
+  s.add(std::numeric_limits<double>::infinity());
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.histogram().non_finite(), 2u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 2.0);
+}
+
+TEST(PercentileSketch, FingerprintSeparatesDifferentData) {
+  PercentileSketch a, b;
+  for (int i = 1; i <= 100; ++i) a.add(static_cast<double>(i));
+  for (int i = 1; i <= 100; ++i) b.add(static_cast<double>(i) + 0.5);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(StreamingHistogram, SubBinsMustBePowerOfTwo) {
+  EXPECT_THROW(StreamingHistogram(0), std::invalid_argument);
+  EXPECT_THROW(StreamingHistogram(48), std::invalid_argument);
+  EXPECT_NO_THROW(StreamingHistogram(1));
+  EXPECT_NO_THROW(StreamingHistogram(128));
+}
+
+TEST(StreamingHistogram, BinAssignmentMatchesBinBounds) {
+  // Round trip: every value must land in a bin whose [lower, lower+width)
+  // range contains it.
+  Rng rng(71);
+  for (int i = 0; i < 5'000; ++i) {
+    const double v = std::ldexp(rng.uniform(1.0, 2.0) - 1e-16,
+                                static_cast<int>(rng.next_below(40)) - 20);
+    const std::int32_t key = StreamingHistogram::key_for(v, 64);
+    const double lower = StreamingHistogram::bin_lower(key, 64);
+    const double width = StreamingHistogram::bin_width(key, 64);
+    EXPECT_GE(v, lower) << v;
+    EXPECT_LT(v, lower + width) << v;
+  }
+}
+
+TEST(StreamingHistogram, MemoryIsBoundedByRangeNotCount) {
+  // 1M adds over a fixed value range must occupy a fixed number of bins.
+  StreamingHistogram h;
+  Rng rng(83);
+  for (int i = 0; i < 1'000'000; ++i) h.add(rng.uniform(1.0, 16.0));
+  // 4 octaves x 64 sub-bins.
+  EXPECT_LE(h.bin_count(), 4u * 64u);
+  EXPECT_EQ(h.total(), 1'000'000u);
+}
+
+TEST(StreamingHistogram, AscendingVisitIsSortedByValue) {
+  StreamingHistogram h;
+  h.add(-100.0);
+  h.add(-0.5);
+  h.add(0.0);
+  h.add(0.25);
+  h.add(300.0);
+  std::vector<double> reps;
+  h.for_each_ascending(
+      [&](double rep, std::uint64_t) { reps.push_back(rep); });
+  ASSERT_EQ(reps.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(reps.begin(), reps.end()));
+  EXPECT_DOUBLE_EQ(reps[2], 0.0);
+}
+
+}  // namespace
+}  // namespace fairswap

@@ -114,24 +114,84 @@ TEST(Plan, SeedAxisIsRejected) {
   EXPECT_NE(error.find("seeds=N"), std::string::npos) << error;
 }
 
-TEST(Plan, AgentKeysAreRejectedOnTheFlatSweepPath) {
-  // run_plan never consults ExperimentConfig::agents, so an epoch key in
-  // a sweep would be the silent-no-op class expand() exists to prevent
-  // (cells that only look like a parameter sweep).
+TEST(Plan, AgentKnobsWithoutEpochsAreRejected) {
+  // Shaping the epoch game without switching it on (epochs=) would run
+  // flat cells that silently ignore the knobs — the silent-no-op class
+  // expand() exists to prevent.
   ExperimentPlan plan;
   plan.base = tiny_base();
-  plan.base.agents.epochs = 5;
+  plan.base.agents.bandwidth_cost = 100.0;  // any non-default agents knob
   std::vector<PlannedRun> runs;
   std::string error;
   EXPECT_FALSE(expand(plan, runs, error));
-  EXPECT_NE(error.find("equilibrium/invasion"), std::string::npos) << error;
+  EXPECT_NE(error.find("epochs="), std::string::npos) << error;
 
-  plan.base.agents = {};
-  plan.base.agents.bandwidth_cost = 100.0;  // any non-default agents knob
-  EXPECT_FALSE(expand(plan, runs, error));
+  // epochs > 0 switches the cells onto the epoch-game path: accepted.
+  plan.base.agents.epochs = 5;
+  EXPECT_TRUE(expand(plan, runs, error)) << error;
 
   plan.base.agents = {};
   EXPECT_TRUE(expand(plan, runs, error)) << error;
+}
+
+TEST(Plan, EpochCellsCannotRecordOrReplayTraces) {
+  // The epoch game generates one workload per epoch; a single recorded
+  // trace cannot represent that, and a replay would be ignored.
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.base.agents.epochs = 3;
+  plan.base.trace_in = "trace.csv";
+  std::vector<PlannedRun> runs;
+  std::string error;
+  EXPECT_FALSE(expand(plan, runs, error));
+  EXPECT_NE(error.find("epoch"), std::string::npos) << error;
+
+  plan.base.trace_in.clear();
+  plan.base.trace_out = "trace.csv";
+  EXPECT_FALSE(expand(plan, runs, error));
+}
+
+TEST(Plan, AgentsAwareSweepRecordsEquilibriumOutputs) {
+  // The PR-5 gap: sweeping an agents knob with epochs= set runs the epoch
+  // game per cell and folds its equilibrium outputs (final free-rider
+  // prevalence, convergence epoch) into the sink metrics.
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.base.agents.epochs = 4;
+  plan.base.agents.files_per_epoch = 10;
+  plan.base.agents.initial_free_riders = 0.5;
+  plan.axes = {{"bandwidth_cost", {"0", "100"}}};
+  plan.threads = 1;
+
+  CaptureSink sink;
+  MetricSink* sinks[] = {&sink};
+  std::string error;
+  ASSERT_TRUE(run_plan(plan, sinks, error, nullptr)) << error;
+  ASSERT_EQ(sink.records.size(), 2u);
+  for (const RunRecord& record : sink.records) {
+    // The epoch game ran: prevalence is a share in [0, 1] from a
+    // half-free-riding start, and the convergence marker is either a
+    // valid epoch or the explicit -1 "did not converge".
+    EXPECT_GE(record.metrics.final_prevalence.mean(), 0.0);
+    EXPECT_LE(record.metrics.final_prevalence.mean(), 1.0);
+    EXPECT_GE(record.metrics.converged_epoch.mean(), -1.0);
+    EXPECT_LE(record.metrics.converged_epoch.mean(), 4.0);
+    // The equilibrium snapshot still produces the flat metrics.
+    EXPECT_GT(record.metrics.delivered.mean(), 0.0);
+  }
+}
+
+TEST(Plan, FlatCellsReportZeroEquilibriumOutputs) {
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.threads = 1;
+  CaptureSink sink;
+  MetricSink* sinks[] = {&sink};
+  std::string error;
+  ASSERT_TRUE(run_plan(plan, sinks, error, nullptr)) << error;
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].metrics.final_prevalence.mean(), 0.0);
+  EXPECT_EQ(sink.records[0].metrics.converged_epoch.mean(), 0.0);
 }
 
 TEST(Plan, TraceRecordingRequiresASingleCell) {
@@ -215,6 +275,61 @@ TEST(Plan, RunPlanIsBitIdenticalForAnyThreadCount) {
       EXPECT_EQ(am[m].second->count(), 3u);
     }
   }
+}
+
+TEST(Plan, RunPlanIsBitIdenticalForAnyThreadCountWithDemandProcesses) {
+  // The ISSUE 9 acceptance: the determinism contract must survive the
+  // full demand-process composition (Zipf popularity, flash crowd,
+  // upload mix) with streaming metrics on.
+  ExperimentPlan plan;
+  plan.base = tiny_base();
+  plan.base.sim.stream_metrics = true;
+  plan.axes = {{"demand", {"uniform", "zipf"}},
+               {"burst_files", {"0", "3"}},
+               {"upload_mix", {"0", "0.25"}}};
+  plan.seeds = 2;
+
+  CaptureSink serial;
+  CaptureSink parallel;
+  std::string error;
+  plan.threads = 1;
+  {
+    MetricSink* sinks[] = {&serial};
+    ASSERT_TRUE(run_plan(plan, sinks, error)) << error;
+  }
+  plan.threads = 4;
+  {
+    MetricSink* sinks[] = {&parallel};
+    ASSERT_TRUE(run_plan(plan, sinks, error)) << error;
+  }
+
+  ASSERT_EQ(serial.records.size(), 8u);
+  ASSERT_EQ(parallel.records.size(), 8u);
+  bool any_hops = false;
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    const RunRecord& a = serial.records[i];
+    const RunRecord& b = parallel.records[i];
+    EXPECT_EQ(a.label, b.label);
+    any_hops = any_hops || a.metrics.hops_p99.mean() > 0.0;
+    std::vector<std::pair<std::string, const RunningStats*>> am, bm;
+    a.metrics.for_each([&](const char* name, const RunningStats& s) {
+      am.emplace_back(name, &s);
+    });
+    b.metrics.for_each([&](const char* name, const RunningStats& s) {
+      bm.emplace_back(name, &s);
+    });
+    ASSERT_EQ(am.size(), bm.size());
+    for (std::size_t m = 0; m < am.size(); ++m) {
+      if (am[m].first == "runtime_s") continue;
+      EXPECT_EQ(am[m].second->mean(), bm[m].second->mean())
+          << a.label << " " << am[m].first;
+      EXPECT_EQ(am[m].second->stddev(), bm[m].second->stddev())
+          << a.label << " " << am[m].first;
+    }
+  }
+  // stream_metrics was on: the sketch percentiles actually flowed
+  // through the sink schema rather than staying zero.
+  EXPECT_TRUE(any_hops);
 }
 
 TEST(Plan, SharedTopologyMatchesPerRunRebuild) {

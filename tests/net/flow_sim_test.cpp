@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -218,6 +219,63 @@ TEST(FlowSimulator, CompletionOrderIndependentOfBatchInsertionOrder) {
             reversed.report().saturated_links);
   EXPECT_DOUBLE_EQ(forward.report().max_link_utilization,
                    reversed.report().max_link_utilization);
+}
+
+TEST(FlowSimulator, BoundedFctMatchesExactPathWithinSketchBound) {
+  // bounded_fct swaps the O(flows) FCT vector for the streaming sketch;
+  // the differential contract: identical completion counts and exact
+  // integer-tick mean, and every percentile within the sketch's
+  // documented relative error bound of the exact order statistic.
+  const auto topo = make_topology(128, 4, 3);
+  Rng route_rng(11);
+  std::vector<overlay::Route> routes;
+  for (int i = 0; i < 400; ++i) {
+    routes.push_back(multi_hop_route(topo, route_rng));
+  }
+
+  FlowConfig exact_cfg;
+  exact_cfg.link_capacity = 0.05;
+  FlowConfig bounded_cfg = exact_cfg;
+  bounded_cfg.bounded_fct = true;
+
+  FlowSimulator exact(topo.compiled(), topo.node_count(), exact_cfg);
+  FlowSimulator bounded(topo.compiled(), topo.node_count(), bounded_cfg);
+  for (const auto& route : routes) {
+    exact.start_chunk(route, false);
+    bounded.start_chunk(route, false);
+  }
+  exact.commit();
+  bounded.commit();
+  exact.drain();
+  bounded.drain();
+
+  const FlowReport er = exact.report();
+  const FlowReport br = bounded.report();
+  EXPECT_EQ(br.started, er.started);
+  EXPECT_EQ(br.completed, er.completed);
+  EXPECT_EQ(br.timed_out, er.timed_out);
+  EXPECT_EQ(br.makespan, er.makespan);
+  // The mean stays exact under bounding (integer tick sum, not sketch).
+  EXPECT_DOUBLE_EQ(br.fct_mean, er.fct_mean);
+  // The bounded run keeps no per-flow samples — that is the point.
+  EXPECT_TRUE(bounded.fct_samples().empty());
+  ASSERT_EQ(bounded.fct_sketch().count(), er.completed);
+
+  // Percentiles: compare against the rank-ceil(q*n) oracle over the
+  // exact run's samples, within the sketch's documented bound.
+  std::vector<engine::SimTime> sorted = exact.fct_samples();
+  std::sort(sorted.begin(), sorted.end());
+  const double bound = bounded.fct_sketch().relative_error_bound();
+  const std::pair<double, double> probes[] = {
+      {0.50, br.fct_p50}, {0.90, br.fct_p90}, {0.99, br.fct_p99}};
+  for (const auto& [q, estimate] : probes) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+    const double oracle = static_cast<double>(sorted[rank - 1]);
+    EXPECT_LE(std::abs(estimate - oracle), bound * oracle + 1e-12)
+        << "q=" << q;
+  }
 }
 
 TEST(FlowSimulator, RejectsLocalHitsAndFailedRoutes) {

@@ -71,7 +71,7 @@ TEST(TraceStrict, ReplayedCountersAreBitIdenticalToTheGeneratedRun) {
   core::Simulation generated(topo, sim_cfg, Rng(42));
   TraceRecorder rec;
   for (int i = 0; i < 40; ++i) {
-    const auto req = generated.generator_mut().next();
+    const auto req = generated.demand_mut().next();
     rec.record(req);
     generated.apply(req);
   }
