@@ -40,8 +40,10 @@
 // Overrides: nodes=<n> bits=<n> files=<n> seeds=<count> threads=<max>
 //            routes=<n> flow_files=<n> workload_requests=<n> seed=<n>
 //            out=<dir>
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -68,6 +70,12 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// Every micro-benchmark loop runs this many times and reports the
+/// fastest pass. Scheduling noise and cold caches only ever add time, so
+/// best-of-N is the stable estimate the bench_guard drift gate compares
+/// against its committed baseline.
+constexpr int kTimingReps = 5;
 
 struct RoutePair {
   overlay::NodeIndex origin;
@@ -131,25 +139,39 @@ MicroResult route_microbench(std::size_t k, std::size_t route_count,
   }
 
   // Both sides reuse one path buffer so the comparison isolates the
-  // routing machinery rather than per-route allocation.
+  // routing machinery rather than per-route allocation. Every timed loop
+  // runs kTimingReps times and keeps the fastest pass: scheduling noise
+  // only ever adds time, so the minimum is the stable estimate the
+  // bench_guard baseline comparison needs (the loops are read-only, so
+  // repetition cannot change results).
   overlay::Route buf;
   std::size_t greedy_hops = 0;
-  auto start = std::chrono::steady_clock::now();
-  for (const auto& p : pairs) {
-    greedy.route_into(p.origin, p.chunk, buf);
-    greedy_hops += buf.hops();
+  result.greedy_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    greedy_hops = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& p : pairs) {
+      greedy.route_into(p.origin, p.chunk, buf);
+      greedy_hops += buf.hops();
+    }
+    result.greedy_ns =
+        std::min(result.greedy_ns,
+                 seconds_since(start) * 1e9 / static_cast<double>(route_count));
   }
-  result.greedy_ns =
-      seconds_since(start) * 1e9 / static_cast<double>(route_count);
 
   std::size_t compiled_hops = 0;
-  start = std::chrono::steady_clock::now();
-  for (const auto& p : pairs) {
-    compiled.route_into(p.origin, p.chunk, buf);
-    compiled_hops += buf.hops();
+  result.compiled_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    compiled_hops = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& p : pairs) {
+      compiled.route_into(p.origin, p.chunk, buf);
+      compiled_hops += buf.hops();
+    }
+    result.compiled_ns =
+        std::min(result.compiled_ns,
+                 seconds_since(start) * 1e9 / static_cast<double>(route_count));
   }
-  result.compiled_ns =
-      seconds_since(start) * 1e9 / static_cast<double>(route_count);
 
   // Batched walk — the per-file shape the simulation routes with. Batches
   // of 512 approximate a paper file's chunk count.
@@ -162,15 +184,20 @@ MicroResult route_microbench(std::size_t k, std::size_t route_count,
   std::vector<overlay::Route> batch;
   std::size_t batched_hops = 0;
   constexpr std::size_t kBatch = 512;
-  start = std::chrono::steady_clock::now();
-  for (std::size_t at = 0; at < pairs.size(); at += kBatch) {
-    const std::size_t n = std::min(kBatch, pairs.size() - at);
-    compiled.route_batch({origins.data() + at, n}, {chunks.data() + at, n},
-                         batch);
-    for (const auto& r : batch) batched_hops += r.hops();
+  result.batched_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    batched_hops = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t at = 0; at < pairs.size(); at += kBatch) {
+      const std::size_t n = std::min(kBatch, pairs.size() - at);
+      compiled.route_batch({origins.data() + at, n}, {chunks.data() + at, n},
+                           batch);
+      for (const auto& r : batch) batched_hops += r.hops();
+    }
+    result.batched_ns =
+        std::min(result.batched_ns,
+                 seconds_since(start) * 1e9 / static_cast<double>(route_count));
   }
-  result.batched_ns =
-      seconds_since(start) * 1e9 / static_cast<double>(route_count);
 
   if (greedy_hops != compiled_hops || greedy_hops != batched_hops) {
     result.identical = false;
@@ -227,28 +254,46 @@ LedgerResult ledger_microbench(std::size_t k, std::size_t route_count,
     if (r.reached_storer) result.debits += r.hops();
   }
 
+  // Best-of-kTimingReps, like the routing micro: the replay mutates
+  // ledger state, so each rep starts from a fresh ledger and replays the
+  // identical deterministic sequence — every rep ends in the same state,
+  // and the fastest pass is the noise-robust estimate bench_guard
+  // compares against its baseline. The ledgers from the last rep feed
+  // the state-identity check below.
   accounting::SwapNetwork map_ledger(topo.node_count(), swap_cfg);
-  auto start = std::chrono::steady_clock::now();
-  for (const auto& r : routes) {
-    if (!r.reached_storer) continue;
-    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
-      (void)map_ledger.debit(r.path[i], r.path[i + 1], price);
+  result.map_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    map_ledger = accounting::SwapNetwork(topo.node_count(), swap_cfg);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& r : routes) {
+      if (!r.reached_storer) continue;
+      for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+        (void)map_ledger.debit(r.path[i], r.path[i + 1], price);
+      }
     }
+    result.map_ns = std::min(
+        result.map_ns,
+        seconds_since(start) * 1e9 /
+            static_cast<double>(std::max<std::size_t>(1, result.debits)));
   }
-  result.map_ns = seconds_since(start) * 1e9 /
-                  static_cast<double>(std::max<std::size_t>(1, result.debits));
 
   accounting::EdgeLedger edge_ledger(router, swap_cfg);
-  start = std::chrono::steady_clock::now();
-  for (const auto& r : routes) {
-    if (!r.reached_storer) continue;
-    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
-      (void)edge_ledger.debit(r.path[i], r.path[i + 1], price,
-                              /*can_settle=*/true, r.edges[i]);
+  result.edge_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    edge_ledger = accounting::EdgeLedger(router, swap_cfg);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& r : routes) {
+      if (!r.reached_storer) continue;
+      for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+        (void)edge_ledger.debit(r.path[i], r.path[i + 1], price,
+                                /*can_settle=*/true, r.edges[i]);
+      }
     }
+    result.edge_ns = std::min(
+        result.edge_ns,
+        seconds_since(start) * 1e9 /
+            static_cast<double>(std::max<std::size_t>(1, result.debits)));
   }
-  result.edge_ns = seconds_since(start) * 1e9 /
-                   static_cast<double>(std::max<std::size_t>(1, result.debits));
 
   result.identical = map_ledger.income() == edge_ledger.income() &&
                      map_ledger.spent() == edge_ledger.spent() &&

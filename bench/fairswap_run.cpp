@@ -18,9 +18,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/telemetry/span.hpp"
 #include "core/experiment.hpp"
 #include "core/scenarios.hpp"
 #include "harness/binding.hpp"
@@ -36,7 +38,8 @@ using namespace fairswap;
 /// Keys the sweep command consumes itself; everything else must be a
 /// bindable experiment parameter.
 const std::vector<std::string> kSweepReserved = {
-    "out", "seeds", "threads", "json", "csv", "config", "verbose"};
+    "out",    "seeds",  "threads",    "json",
+    "csv",    "config", "trace_spans", "verbose"};
 
 void usage(std::ostream& out) {
   out << "usage:\n"
@@ -54,7 +57,11 @@ void usage(std::ostream& out) {
          "to the base configuration first (single values only; '#' starts\n"
          "a comment), then command-line keys override. The default base is\n"
          "the paper's 1000-node grid cell (k=4, 100% originators, 10k\n"
-         "files).\n";
+         "files).\n"
+         "\n"
+         "trace_spans=FILE (any mode) captures wall-plane phase spans and\n"
+         "writes Chrome trace-event JSON loadable in Perfetto or\n"
+         "chrome://tracing (docs/OBSERVABILITY.md).\n";
 }
 
 void list(std::ostream& out) {
@@ -84,6 +91,35 @@ std::vector<std::string> split_csv(const std::string& value) {
   return parts;
 }
 
+/// Starts wall-plane span capture for a `trace_spans=FILE` request.
+/// Returns false (with a diagnostic) when the build compiled telemetry
+/// out — an empty trace would silently masquerade as "nothing ran".
+bool begin_trace_capture(const std::string& path) {
+  if constexpr (!telemetry::kEnabled) {
+    std::cerr << "error: trace_spans=" << path
+              << " needs a FAIRSWAP_TELEMETRY=ON build\n";
+    return false;
+  }
+  telemetry::TraceRecorder::instance().enable();
+  return true;
+}
+
+/// Writes the spans captured since begin_trace_capture as Chrome
+/// trace-event JSON and stops capturing.
+int export_trace_spans(const std::string& path) {
+  telemetry::TraceRecorder& recorder = telemetry::TraceRecorder::instance();
+  recorder.disable();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  recorder.write_chrome_trace(out);
+  std::cout << "wrote " << path << " (" << recorder.span_count()
+            << " spans, Chrome trace-event JSON — open in Perfetto)\n";
+  return 0;
+}
+
 int run_sweep(const Config& args) {
   harness::ExperimentPlan plan;
   // The paper's baseline cell; axes and single-value keys override it.
@@ -97,6 +133,7 @@ int run_sweep(const Config& args) {
   const std::string json_path =
       args.get_or("json", out_dir + "/RUN_sweep.json");
   const std::string csv_path = args.get_or("csv", out_dir + "/sweep.csv");
+  const std::string trace_path = args.get_or("trace_spans", std::string{});
   const std::string parse_error = args.last_error();
   if (!parse_error.empty()) {
     std::cerr << "error: " << parse_error << "\n";
@@ -197,6 +234,8 @@ int run_sweep(const Config& args) {
   harness::CsvSink csv_sink(csv_file);
   harness::MetricSink* sinks[] = {&table_sink, &json_sink, &csv_sink};
 
+  if (!trace_path.empty() && !begin_trace_capture(trace_path)) return 2;
+
   std::string error;
   try {
     if (!harness::run_plan(plan, sinks, error, &std::cout)) {
@@ -216,6 +255,10 @@ int run_sweep(const Config& args) {
   json_file << "\n";
   std::cout << "wrote " << csv_path << " and " << json_path
             << " (schema fairswap.run.v1)\n";
+  if (!trace_path.empty()) {
+    const int rc = export_trace_spans(trace_path);
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -237,8 +280,26 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "sweep") return run_sweep(args);
+  // Scenario registries own their reserved-key tables, so the wall-plane
+  // trace_spans= flag is peeled off here before the argv reaches them.
+  const std::string trace_path =
+      args.get_or("trace_spans", std::string{});
+  std::vector<char*> scenario_argv;
+  scenario_argv.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("trace_spans=", 0) == 0) continue;
+    scenario_argv.push_back(argv[i]);
+  }
+  if (!trace_path.empty() && !begin_trace_capture(trace_path)) return 2;
   try {
-    return fairswap::harness::run_scenario(command, argc, argv, std::cout);
+    const int rc = fairswap::harness::run_scenario(
+        command, static_cast<int>(scenario_argv.size()),
+        scenario_argv.data(), std::cout);
+    if (rc == 0 && !trace_path.empty()) {
+      const int trace_rc = export_trace_spans(trace_path);
+      if (trace_rc != 0) return trace_rc;
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -21,6 +21,7 @@
 
 #include "accounting/edge_ledger.hpp"
 #include "accounting/swap.hpp"
+#include "common/telemetry/counters.hpp"
 
 namespace fairswap::accounting {
 
@@ -45,13 +46,31 @@ class Ledger {
     return edge_ ? &*edge_ : nullptr;
   }
 
+  /// Points the ledger at a sim-plane counter block (owned by the
+  /// simulation). Null detaches; debits then count nowhere.
+  void set_counters(telemetry::CounterBlock* counters) noexcept {
+    counters_ = counters;
+  }
+
   /// See SwapNetwork::debit. `edge` (Route::edge(i) for hop i) lets the
   /// edge backend resolve its balance slot with one load; the map backend
   /// ignores it.
   DebitResult debit(NodeIndex consumer, NodeIndex provider, Token amount,
                     bool can_settle = true, EdgeId edge = kNoEdge) {
-    return map_ ? map_->debit(consumer, provider, amount, can_settle)
-                : edge_->debit(consumer, provider, amount, can_settle, edge);
+    const DebitResult result =
+        map_ ? map_->debit(consumer, provider, amount, can_settle)
+             : edge_->debit(consumer, provider, amount, can_settle, edge);
+    if constexpr (telemetry::kEnabled) {
+      if (counters_ != nullptr) {
+        counters_->bump(telemetry::Counter::kDebits);
+        if (result == DebitResult::kSettled) {
+          counters_->bump(telemetry::Counter::kSettlements);
+        } else if (result == DebitResult::kDisconnected) {
+          counters_->bump(telemetry::Counter::kRefusedPayments);
+        }
+      }
+    }
+    return result;
   }
 
   void pay_direct(NodeIndex consumer, NodeIndex provider, Token amount) {
@@ -70,6 +89,11 @@ class Ledger {
   }
 
   std::size_t amortize_tick() {
+    if constexpr (telemetry::kEnabled) {
+      if (counters_ != nullptr) {
+        counters_->bump(telemetry::Counter::kAmortizeTicks);
+      }
+    }
     return map_ ? map_->amortize_tick() : edge_->amortize_tick();
   }
 
@@ -122,6 +146,9 @@ class Ledger {
   // Exactly one backend is engaged, fixed at construction.
   std::optional<SwapNetwork> map_;
   std::optional<EdgeLedger> edge_;
+  /// Sim-plane counters (not owned); null until the owning simulation
+  /// attaches its block.
+  telemetry::CounterBlock* counters_{nullptr};
 };
 
 }  // namespace fairswap::accounting

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "agents/utility.hpp"
+#include "common/telemetry/span.hpp"
 #include "core/fairness.hpp"
 
 namespace fairswap::agents {
@@ -77,6 +78,7 @@ EpochSeries EpochDriver::run() {
   std::size_t quiet_attempts = 0;
 
   for (std::size_t epoch = 0; epoch < agents.epochs; ++epoch) {
+    TELEM_SPAN("epoch");
     if (epoch > 0) sim_.reset(epoch_rng(config_.seed, epoch));
     // The whole point of reset(): the compiled snapshot (and with it the
     // edge-ledger arena) is never rebuilt across epochs.
@@ -87,7 +89,13 @@ EpochSeries EpochDriver::run() {
       flags_[i] = behavior_[i] == Strategy::kFreeRide ? 1 : 0;
     }
     sim_.set_behavior(flags_, /*refuse_service=*/true);
-    sim_.run(agents.files_per_epoch);
+    {
+      TELEM_SPAN("play");
+      sim_.run(agents.files_per_epoch);
+    }
+    // The per-epoch reset wipes the sim's counter block; fold this
+    // epoch's snapshot into the cross-epoch accumulator now.
+    telem_.merge(sim_.telem());
 
     const auto utilities = epoch_utilities(sim_, agents.bandwidth_cost);
 
@@ -120,9 +128,11 @@ EpochSeries EpochDriver::run() {
     point.refused = sim_.totals().refused;
     point.chunk_requests = sim_.totals().chunk_requests;
 
+    TELEM_SPAN("revise");
     const std::size_t attempts = dynamics_->revise(
         behavior_, utilities, neighbors_, params, dynamics_rng_,
         next_behavior_);
+    telem_.bump(telemetry::Counter::kAgentRevisions, attempts);
     for (std::size_t i = 0; i < behavior_.size(); ++i) {
       if (next_behavior_[i] != behavior_[i]) ++point.switched;
     }

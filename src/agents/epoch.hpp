@@ -103,6 +103,13 @@ class EpochDriver {
     return behavior_;
   }
 
+  /// Sim-plane counters accumulated over every epoch (the per-epoch
+  /// reset zeroes the simulation's own block, so the driver folds each
+  /// epoch's snapshot here). Includes agent_revisions. Valid after run().
+  [[nodiscard]] const telemetry::CounterBlock& telem() const noexcept {
+    return telem_;
+  }
+
  private:
   const overlay::Topology* topo_;
   core::ExperimentConfig config_;
@@ -113,6 +120,8 @@ class EpochDriver {
   std::vector<Strategy> behavior_;
   std::vector<Strategy> next_behavior_;
   std::vector<std::uint8_t> flags_;
+  /// Cross-epoch sim-plane counter accumulator (see telem()).
+  telemetry::CounterBlock telem_;
 };
 
 /// Convenience wrapper: builds the topology the config describes (seed

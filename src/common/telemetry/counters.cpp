@@ -1,0 +1,17 @@
+#include "common/telemetry/counters.hpp"
+
+namespace fairswap::telemetry {
+
+std::uint64_t CounterBlock::fingerprint() const noexcept {
+  // FNV-1a, 64-bit, over the eight bytes of each slot in registry order.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t v : slots_) {
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace fairswap::telemetry

@@ -1,0 +1,109 @@
+#include "common/telemetry/span.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/json.hpp"
+
+namespace fairswap::telemetry {
+
+std::uint64_t wall_now_ns() noexcept {
+  // The tree's one blessed wall-clock read (see the wall-clock lint
+  // rule). steady_clock: monotonic, immune to NTP slews mid-span.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t thread_ordinal() noexcept {
+  // fairswap-lint: allow(mutable-global) -- process-wide ordinal source;
+  // monotone atomic ticket counter, wall plane only (trace tids).
+  static std::atomic<std::uint32_t> next{0};
+  // fairswap-lint: allow(mutable-global) -- per-thread cached ticket;
+  // written once per thread, never observed by the sim plane.
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  // fairswap-lint: allow(mutable-global) -- deliberate process-wide
+  // trace sink: spans from any thread land in one file; all mutable
+  // state is GUARDED_BY(mutex_) and wall-plane only.
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable() {
+  const MutexLock lock(mutex_);
+  spans_.clear();
+  epoch_ns_ = wall_now_ns();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+bool TraceRecorder::enabled() const noexcept {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::record(std::string_view name, std::uint64_t start_ns,
+                           std::uint64_t end_ns) {
+  record_on(name, start_ns, end_ns, thread_ordinal());
+}
+
+void TraceRecorder::record_on(std::string_view name, std::uint64_t start_ns,
+                              std::uint64_t end_ns, std::uint32_t tid) {
+  if (!enabled()) return;
+  SpanRecord span;
+  span.name.assign(name.data(), name.size());
+  span.start_ns = start_ns;
+  span.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  span.tid = tid;
+  const MutexLock lock(mutex_);
+  span.start_ns = span.start_ns > epoch_ns_ ? span.start_ns - epoch_ns_ : 0;
+  spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  JsonWriter json(out);
+  json.open();
+  json.open_list("traceEvents");
+  const MutexLock lock(mutex_);
+  for (const SpanRecord& span : spans_) {
+    json.open();
+    json.field("name", span.name);
+    json.field("cat", "fairswap");
+    json.field("ph", "X");
+    // Chrome trace timestamps are microseconds; keep sub-µs resolution
+    // as a fractional part.
+    json.field("ts", static_cast<double>(span.start_ns) / 1000.0);
+    json.field("dur", static_cast<double>(span.dur_ns) / 1000.0);
+    json.field("pid", 1);
+    json.field("tid", span.tid);
+    json.close();
+  }
+  json.close_list();
+  json.close();
+  out << "\n";
+}
+
+std::size_t TraceRecorder::span_count() const {
+  const MutexLock lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+  const MutexLock lock(mutex_);
+  return spans_;
+}
+
+void TraceRecorder::clear() {
+  const MutexLock lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace fairswap::telemetry

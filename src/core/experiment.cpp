@@ -1,11 +1,11 @@
 #include "core/experiment.hpp"
 
-#include <chrono>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/telemetry/span.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/report.hpp"
 #include "workload/trace.hpp"
@@ -42,6 +42,7 @@ void store_trace_text(const std::string& path, const std::string& text) {
 /// plain generated run. Factored so run_experiment stays one read.
 void drive_simulation(Simulation& sim, const ExperimentConfig& config,
                       const overlay::Topology& topo) {
+  TELEM_SPAN("routing");
   if (!config.trace_in.empty()) {
     const auto requests =
         workload::trace_from_csv(preload_trace_text(config.trace_in),
@@ -94,6 +95,7 @@ const std::string& preload_trace_text(const std::string& path) {
 }
 
 overlay::Topology build_topology(const ExperimentConfig& config) {
+  TELEM_SPAN("build_topology");
   Rng root(config.seed);
   Rng topo_rng = root.split(0);
   return overlay::Topology::build(config.topology, topo_rng);
@@ -110,7 +112,7 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
     throw std::invalid_argument(
         "experiment topology config does not match the provided topology");
   }
-  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start_ns = telemetry::wall_now_ns();
 
   Rng root(config.seed);
   Rng sim_rng = root.split(1);
@@ -118,20 +120,24 @@ ExperimentResult run_experiment(const overlay::Topology& topo,
   drive_simulation(sim, config, topo);
   // Flow-level runs: let every in-flight transfer finish or time out so
   // the totals carry final FCT percentiles (no-op otherwise).
-  sim.finish_flows();
+  {
+    TELEM_SPAN("flow_drain");
+    sim.finish_flows();
+  }
 
   return package_experiment(
       config, sim,
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
+      static_cast<double>(telemetry::wall_now_ns() - start_ns) * 1e-9);
 }
 
 ExperimentResult package_experiment(const ExperimentConfig& config,
                                     const Simulation& sim,
                                     double runtime_seconds) {
+  TELEM_SPAN("settlement");
   ExperimentResult result;
   result.config = config;
   result.totals = sim.totals();
+  result.counters = sim.telem();
   result.served_per_node = sim.served_per_node();
   result.first_hop_per_node = sim.first_hop_per_node();
   result.income_per_node = sim.income_per_node();

@@ -61,6 +61,12 @@ Simulation::Simulation(const overlay::Topology& topo, SimulationConfig config,
         *router_, topo.node_count(), config_.flow);
   }
 
+  // Attach the sim-plane counter block to the subsystems this simulation
+  // owns. telem_ never moves (Simulation is pinned once constructed), so
+  // the raw pointers stay valid for the simulation's lifetime.
+  swap_.set_counters(&telem_);
+  if (flow_sim_) flow_sim_->set_counters(&telem_);
+
   ctx_.topo = topo_;
   ctx_.swap = &swap_;
   ctx_.pricer = pricer_.get();
@@ -93,6 +99,7 @@ void Simulation::seed_state(Rng rng) {
 
   engine_ = std::make_unique<workload::DemandEngine>(
       *topo_, config_.workload, config_.demand, workload_rng);
+  engine_->set_counters(&telem_);
 
   free_riders_ = sample_free_riders(topo_->node_count(),
                                     config_.free_rider_share, free_rider_rng);
@@ -108,6 +115,7 @@ void Simulation::reset(Rng rng) {
   }
   refuse_service_.clear();
   stream_ = StreamAggregates{};
+  telem_.clear();
   arrival_tick_ = 0.0;
   if (flow_sim_) flow_sim_->reset();
   seed_state(rng);
@@ -136,6 +144,7 @@ void Simulation::note_request(NodeIndex originator, bool is_upload) {
 bool Simulation::request_chunk(NodeIndex originator, Address chunk,
                                bool is_upload) {
   note_request(originator, is_upload);
+  telem_.bump(telemetry::Counter::kRouteWalks);
 
   const bool compiled = config_.compiled_routing;
   const overlay::CompiledRouter& router = *router_;
@@ -205,8 +214,10 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
   if (!route.reached_storer) {
     if (route.truncated) {
       ++totals_.truncated_routes;
+      telem_.bump(telemetry::Counter::kRoutesTruncated);
     } else {
       ++totals_.failed_routes;
+      telem_.bump(telemetry::Counter::kRoutesFailed);
     }
     return false;
   }
@@ -216,6 +227,8 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
     // consumed and nobody is paid.
     ++totals_.local_hits;
     ++totals_.delivered;
+    telem_.bump(telemetry::Counter::kLocalHits);
+    telem_.bump(telemetry::Counter::kChunksDelivered);
     ++counters_[route.originator()].local_hits;
     if (config_.stream_metrics) record_hops(0.0);
     return true;
@@ -242,11 +255,13 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
       }
     }
     ++totals_.refused;
+    telem_.bump(telemetry::Counter::kServiceRefusals);
     return false;
   }
 
   if (!policy_->admit(ctx_, route)) {
     ++totals_.refused;
+    telem_.bump(telemetry::Counter::kServiceRefusals);
     return false;
   }
 
@@ -259,6 +274,7 @@ bool Simulation::account(const overlay::Route& route, bool from_cache,
   if (from_cache) ++counters_[route.terminal()].cache_serves;
   ++counters_[route.first_hop()].chunks_served_first_hop;
   ++totals_.delivered;
+  telem_.bump(telemetry::Counter::kChunksDelivered);
   if (config_.stream_metrics) {
     record_hops(static_cast<double>(route.hops()));
   }
@@ -314,6 +330,8 @@ void Simulation::apply(const workload::DownloadRequest& request) {
     origins_buf_.assign(request.chunks.size(), request.originator);
     router_->route_batch(origins_buf_, request.chunks, routes_buf_,
                          config_.max_route_hops);
+    telem_.bump(telemetry::Counter::kRouteBatches);
+    telem_.bump(telemetry::Counter::kRouteWalks, routes_buf_.size());
     for (const auto& route : routes_buf_) {
       note_request(request.originator, request.is_upload);
       account(route, /*from_cache=*/false, request.is_upload);

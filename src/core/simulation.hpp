@@ -18,6 +18,7 @@
 #include "accounting/pricing.hpp"
 #include "common/rng.hpp"
 #include "common/stream_stats.hpp"
+#include "common/telemetry/counters.hpp"
 #include "incentives/policy.hpp"
 #include "net/flow.hpp"
 #include "overlay/forwarding.hpp"
@@ -275,6 +276,12 @@ class Simulation {
   [[nodiscard]] const StreamAggregates& stream() const noexcept {
     return stream_;
   }
+  /// Sim-plane telemetry counters for this simulation (all zero in
+  /// FAIRSWAP_TELEMETRY=OFF builds). Bumped by this simulation and by
+  /// the ledger / flow / demand subsystems it owns; cleared by reset().
+  [[nodiscard]] const telemetry::CounterBlock& telem() const noexcept {
+    return telem_;
+  }
   [[nodiscard]] const std::vector<storage::ChunkStore>& stores()
       const noexcept {
     return stores_;
@@ -343,6 +350,10 @@ class Simulation {
   SimulationTotals totals_;
   /// Streaming aggregates (maintained only when config_.stream_metrics).
   StreamAggregates stream_;
+  /// Sim-plane counter block. Owned here (one per simulation, no
+  /// sharing) so shard-parallel runs bump without synchronization and
+  /// fold like PercentileSketch.
+  telemetry::CounterBlock telem_;
   /// Cumulative flow arrival time under diurnal modulation: file i
   /// arrives at sum of the first i modulated interarrivals. Without
   /// modulation the classic `interarrival * files` product is used, so

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/telemetry/span.hpp"
+
 namespace fairswap::core {
 
 TaskPool::TaskPool(std::size_t threads) {
@@ -10,8 +12,9 @@ TaskPool::TaskPool(std::size_t threads) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads - 1);
+  stats_.resize(threads);
   for (std::size_t i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -30,8 +33,11 @@ void TaskPool::parallel_for(std::size_t count,
   if (count == 0) return;
   grain = std::max<std::size_t>(1, grain);
 
+  const std::size_t caller_slot = workers_.size();
   if (workers_.empty()) {
     // Serial pool: same drain-then-rethrow semantics, no synchronization.
+    std::uint64_t start_ns = 0;
+    if constexpr (telemetry::kEnabled) start_ns = telemetry::wall_now_ns();
     std::exception_ptr error;
     for (std::size_t i = 0; i < count; ++i) {
       try {
@@ -40,8 +46,22 @@ void TaskPool::parallel_for(std::size_t count,
         if (!error) error = std::current_exception();
       }
     }
+    if constexpr (telemetry::kEnabled) {
+      stats_[caller_slot].busy_ns += telemetry::wall_now_ns() - start_ns;
+    }
+    stats_[caller_slot].chunks += 1;
+    stats_[caller_slot].items += count;
     if (error) std::rethrow_exception(error);
     return;
+  }
+
+  std::uint64_t job_start_ns = 0;
+  if constexpr (telemetry::kEnabled) {
+    job_start_ns = telemetry::wall_now_ns();
+    busy_snapshot_.resize(stats_.size());
+    for (std::size_t s = 0; s < stats_.size(); ++s) {
+      busy_snapshot_[s] = stats_[s].busy_ns;
+    }
   }
 
   {
@@ -56,7 +76,7 @@ void TaskPool::parallel_for(std::size_t count,
   }
   wake_cv_.notify_all();
 
-  drain_job(fn, count, grain);  // the caller is a worker too
+  drain_job(fn, count, grain, caller_slot);  // the caller is a worker too
 
   std::exception_ptr error;
   {
@@ -65,10 +85,20 @@ void TaskPool::parallel_for(std::size_t count,
     fn_ = nullptr;
     error = std::exchange(first_error_, nullptr);
   }
+  if constexpr (telemetry::kEnabled) {
+    // All workers are past their stats writes (the active_workers_
+    // hand-off above orders them), so idle attribution reads are safe:
+    // idle == job wall time not spent inside fn.
+    const std::uint64_t job_ns = telemetry::wall_now_ns() - job_start_ns;
+    for (std::size_t s = 0; s < stats_.size(); ++s) {
+      const std::uint64_t busy = stats_[s].busy_ns - busy_snapshot_[s];
+      stats_[s].idle_ns += job_ns > busy ? job_ns - busy : 0;
+    }
+  }
   if (error) std::rethrow_exception(error);
 }
 
-void TaskPool::worker_loop() {
+void TaskPool::worker_loop(std::size_t slot) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     // Copy the job descriptor out under the lock: drain_job then runs on
@@ -86,7 +116,7 @@ void TaskPool::worker_loop() {
       count = count_;
       grain = grain_;
     }
-    drain_job(*fn, count, grain);
+    drain_job(*fn, count, grain, slot);
     {
       const MutexLock lock(mutex_);
       if (--active_workers_ == 0) done_cv_.notify_one();
@@ -95,11 +125,17 @@ void TaskPool::worker_loop() {
 }
 
 void TaskPool::drain_job(const std::function<void(std::size_t)>& fn,
-                         std::size_t count, std::size_t grain) {
+                         std::size_t count, std::size_t grain,
+                         std::size_t slot) {
+  WorkerStats& stats = stats_[slot];  // disjoint slot: lock-free by design
   for (;;) {
     const std::size_t begin = next_.fetch_add(grain, std::memory_order_relaxed);
     if (begin >= count) return;
     const std::size_t end = std::min(begin + grain, count);
+    std::uint64_t chunk_start_ns = 0;
+    if constexpr (telemetry::kEnabled) {
+      chunk_start_ns = telemetry::wall_now_ns();
+    }
     for (std::size_t i = begin; i < end; ++i) {
       try {
         fn(i);
@@ -108,6 +144,17 @@ void TaskPool::drain_job(const std::function<void(std::size_t)>& fn,
         if (!first_error_) first_error_ = std::current_exception();
       }
     }
+    if constexpr (telemetry::kEnabled) {
+      const std::uint64_t chunk_end_ns = telemetry::wall_now_ns();
+      stats.busy_ns += chunk_end_ns - chunk_start_ns;
+      // One trace row per pool thread: chunk spans show the sweep's
+      // actual schedule when a trace is being captured.
+      telemetry::TraceRecorder::instance().record_on(
+          "pool_chunk", chunk_start_ns, chunk_end_ns,
+          static_cast<std::uint32_t>(slot));
+    }
+    stats.chunks += 1;
+    stats.items += end - begin;
   }
 }
 

@@ -21,9 +21,31 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry/counters.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace fairswap::core {
+
+/// Per-worker utilization accounting — WALL-PLANE data (see
+/// docs/OBSERVABILITY.md): busy time and chunk-claim counts vary run to
+/// run and must never feed a simulated result. `items` alone is exact:
+/// the slots partition [0, count), so items summed over workers equals
+/// the indices executed (pinned by tests/core/task_pool_test.cpp).
+struct WorkerStats {
+  /// Wall nanoseconds spent inside fn(i) calls (0 when telemetry is
+  /// compiled off).
+  std::uint64_t busy_ns{0};
+  /// Wall nanoseconds the worker spent idle while a job it joined was
+  /// still running elsewhere (0 when telemetry is compiled off).
+  std::uint64_t idle_ns{0};
+  /// Chunks claimed from the shared counter — each claim beyond the
+  /// first is work self-scheduled (stolen) from the common pool.
+  std::uint64_t chunks{0};
+  /// Indices executed.
+  std::uint64_t items{0};
+
+  friend bool operator==(const WorkerStats&, const WorkerStats&) = default;
+};
 
 /// Fixed-size worker pool. `parallel_for` blocks the caller, which also
 /// participates in the work, so a pool of size 1 degenerates to a plain
@@ -51,15 +73,32 @@ class TaskPool {
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
+  /// Cumulative per-thread utilization, one slot per pool thread (the
+  /// caller is the last slot). Workers write their own slot lock-free
+  /// while a job runs; read only between parallel_for calls, where the
+  /// job's completion hand-off (mutex_) orders every write before the
+  /// read.
+  [[nodiscard]] const std::vector<WorkerStats>& worker_stats() const noexcept {
+    return stats_;
+  }
+  void reset_worker_stats() noexcept {
+    for (WorkerStats& s : stats_) s = WorkerStats{};
+  }
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t slot);
   /// Claims and runs chunks of the job described by the arguments (copied
   /// out under mutex_ by the caller); records the first exception under
-  /// mutex_.
+  /// mutex_. `slot` is the caller's stats_ slot (disjoint per thread).
   void drain_job(const std::function<void(std::size_t)>& fn,
-                 std::size_t count, std::size_t grain);
+                 std::size_t count, std::size_t grain, std::size_t slot);
 
   std::vector<std::thread> workers_;
+  /// Per-thread utilization slots (workers_, then the caller). Disjoint
+  /// lock-free writes; see worker_stats() for the read contract.
+  std::vector<WorkerStats> stats_;
+  /// busy_ns snapshot at job start, for idle attribution (caller only).
+  std::vector<std::uint64_t> busy_snapshot_;
 
   Mutex mutex_;
   CondVar wake_cv_;  // workers wait for a new job / stop

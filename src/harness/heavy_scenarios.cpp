@@ -19,6 +19,8 @@
 #include "common/json.hpp"
 #include "common/mem.hpp"
 #include "common/table.hpp"
+#include "common/telemetry/counters.hpp"
+#include "common/telemetry/span.hpp"
 #include "core/report.hpp"
 #include "core/scenarios.hpp"
 #include "core/simulation.hpp"
@@ -39,6 +41,9 @@ constexpr std::size_t kOracleSample = 100'000;
 struct ShardResult {
   core::StreamAggregates stream;
   core::SimulationTotals totals;
+  /// Sim-plane telemetry counters — merged in canonical shard order
+  /// alongside the sketches and held to the same invariance gates.
+  telemetry::CounterBlock counters;
   /// Hop-sketch fingerprint of the record -> reset -> replay rerun
   /// (shard 0 only; 0 elsewhere).
   std::uint64_t replay_fingerprint{0};
@@ -51,11 +56,13 @@ struct ShardResult {
 ShardResult run_shard(const overlay::Topology& topo,
                       const core::SimulationConfig& sim_cfg, Rng rng,
                       std::uint64_t quota, bool replay_check) {
+  TELEM_SPAN("run_shard");
   core::Simulation sim(topo, sim_cfg, rng);
   while (sim.totals().chunk_requests < quota) sim.step();
   ShardResult r;
   r.stream = sim.stream();
   r.totals = sim.totals();
+  r.counters = sim.telem();
   if (replay_check) {
     sim.reset(rng);
     while (sim.totals().chunk_requests < quota) sim.step();
@@ -168,11 +175,14 @@ int scenario_heavy_traffic(ScenarioContext& ctx) {
 
   // Canonical fold: shard order 0..S-1. Integer-count sketch merges are
   // exact, so this is the same result any thread schedule produces.
+  TELEM_SPAN("fold_shards");
   core::StreamAggregates merged;
+  telemetry::CounterBlock merged_counters;
   std::uint64_t chunk_requests = 0, delivered = 0, refused = 0;
   std::uint64_t failed = 0, truncated = 0, files = 0, uploads = 0;
   for (const ShardResult& r : results) {
     merged.merge(r.stream);
+    merged_counters.merge(r.counters);
     chunk_requests += r.totals.chunk_requests;
     delivered += r.totals.delivered;
     refused += r.totals.refused;
@@ -184,11 +194,16 @@ int scenario_heavy_traffic(ScenarioContext& ctx) {
   // Witness merge-order invariance on the real data: reverse-order fold
   // must produce the same bits (the unit suite proves it in general).
   core::StreamAggregates reversed;
-  for (std::size_t s = shards; s-- > 0;) reversed.merge(results[s].stream);
+  telemetry::CounterBlock reversed_counters;
+  for (std::size_t s = shards; s-- > 0;) {
+    reversed.merge(results[s].stream);
+    reversed_counters.merge(results[s].counters);
+  }
   const bool merge_invariant =
       merged.hops.fingerprint() == reversed.hops.fingerprint() &&
       merged.chunks_per_file.fingerprint() ==
-          reversed.chunks_per_file.fingerprint();
+          reversed.chunks_per_file.fingerprint() &&
+      merged_counters == reversed_counters;
 
   // Sketch-vs-oracle differential on shard 0's exact subsample: a sketch
   // fed exactly those values must land every quantile within the
@@ -269,6 +284,17 @@ int scenario_heavy_traffic(ScenarioContext& ctx) {
     json.field("p50", merged.chunks_per_file.quantile(0.50));
     json.field("p99", merged.chunks_per_file.quantile(0.99));
     json.close();
+    if constexpr (telemetry::kEnabled) {
+      // Sim-plane counters, canonical fold over shards — same
+      // bit-identity contract as the sketch fingerprints above.
+      json.open("counters");
+      merged_counters.for_each(
+          [&](std::string_view name, std::uint64_t value) {
+            json.field(std::string(name).c_str(), value);
+          });
+      json.field("fingerprint", hex64(merged_counters.fingerprint()));
+      json.close();
+    }
     json.open("oracle");
     json.field("sample", sorted.size());
     json.field("relative_error_bound", bound);

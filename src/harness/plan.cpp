@@ -1,11 +1,11 @@
 #include "harness/plan.hpp"
 
 #include <array>
-#include <chrono>
 #include <optional>
 #include <thread>
 
 #include "agents/epoch.hpp"
+#include "common/telemetry/span.hpp"
 #include "core/task_pool.hpp"
 #include "harness/binding.hpp"
 
@@ -26,15 +26,21 @@ std::string assignment_label(
   return label;
 }
 
-/// The per-(run, seed) scalars run_plan keeps — everything MetricStats
-/// folds, nothing per-node. Must stay in sync with fold_cell/add_cell.
-using Cell = std::array<double, 25>;
+/// The per-(run, seed) state run_plan keeps — everything MetricStats
+/// folds plus the sim-plane counter snapshot, nothing per-node. The
+/// scalars must stay in sync with fold_cell/add_cell.
+struct Cell {
+  std::array<double, 25> scalars{};
+  telemetry::CounterBlock counters;
+};
 
 /// `final_prevalence`/`converged_epoch` come from the epoch game on
 /// agents-aware runs (-1 = did not converge); both are 0 on flat runs.
 Cell extract(const core::ExperimentResult& r, double final_prevalence,
              double converged_epoch) {
-  return Cell{r.fairness.gini_f2,
+  Cell cell;
+  cell.counters = r.counters;
+  cell.scalars = {r.fairness.gini_f2,
               r.fairness.gini_f1,
               r.fairness.gini_f1_income,
               r.avg_forwarded_chunks,
@@ -59,34 +65,36 @@ Cell extract(const core::ExperimentResult& r, double final_prevalence,
               r.income_p99,
               final_prevalence,
               converged_epoch};
+  return cell;
 }
 
 void fold_cell(MetricStats& stats, const Cell& cell) {
-  stats.gini_f2.add(cell[0]);
-  stats.gini_f1.add(cell[1]);
-  stats.gini_f1_income.add(cell[2]);
-  stats.avg_forwarded.add(cell[3]);
-  stats.routing_success.add(cell[4]);
-  stats.total_income.add(cell[5]);
-  stats.outstanding_debt.add(cell[6]);
-  stats.settlements.add(cell[7]);
-  stats.total_transmissions.add(cell[8]);
-  stats.delivered.add(cell[9]);
-  stats.failed_routes.add(cell[10]);
-  stats.truncated_routes.add(cell[11]);
-  stats.cache_serves.add(cell[12]);
-  stats.fct_p50.add(cell[13]);
-  stats.fct_p99.add(cell[14]);
-  stats.fct_mean.add(cell[15]);
-  stats.flows_timed_out.add(cell[16]);
-  stats.saturated_links.add(cell[17]);
-  stats.runtime_s.add(cell[18]);
-  stats.hops_p50.add(cell[19]);
-  stats.hops_p99.add(cell[20]);
-  stats.served_p99.add(cell[21]);
-  stats.income_p99.add(cell[22]);
-  stats.final_prevalence.add(cell[23]);
-  stats.converged_epoch.add(cell[24]);
+  const std::array<double, 25>& s = cell.scalars;
+  stats.gini_f2.add(s[0]);
+  stats.gini_f1.add(s[1]);
+  stats.gini_f1_income.add(s[2]);
+  stats.avg_forwarded.add(s[3]);
+  stats.routing_success.add(s[4]);
+  stats.total_income.add(s[5]);
+  stats.outstanding_debt.add(s[6]);
+  stats.settlements.add(s[7]);
+  stats.total_transmissions.add(s[8]);
+  stats.delivered.add(s[9]);
+  stats.failed_routes.add(s[10]);
+  stats.truncated_routes.add(s[11]);
+  stats.cache_serves.add(s[12]);
+  stats.fct_p50.add(s[13]);
+  stats.fct_p99.add(s[14]);
+  stats.fct_mean.add(s[15]);
+  stats.flows_timed_out.add(s[16]);
+  stats.saturated_links.add(s[17]);
+  stats.runtime_s.add(s[18]);
+  stats.hops_p50.add(s[19]);
+  stats.hops_p99.add(s[20]);
+  stats.served_p99.add(s[21]);
+  stats.income_p99.add(s[22]);
+  stats.final_prevalence.add(s[23]);
+  stats.converged_epoch.add(s[24]);
 }
 
 /// One (run, seed) cell. Flat configs run a plain experiment; configs
@@ -98,12 +106,11 @@ Cell run_cell(const overlay::Topology& topo, core::ExperimentConfig cfg) {
   if (cfg.agents.epochs == 0) {
     return extract(core::run_experiment(topo, cfg), 0.0, 0.0);
   }
-  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start_ns = telemetry::wall_now_ns();
   agents::EpochDriver driver(topo, cfg);
   const agents::EpochSeries series = driver.run();
   const double runtime =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(telemetry::wall_now_ns() - start_ns) * 1e-9;
   // After run() the simulation still holds the final epoch's play — the
   // equilibrium snapshot package_experiment turns into Gini/income/route
   // metrics.
@@ -111,7 +118,11 @@ Cell run_cell(const overlay::Topology& topo, core::ExperimentConfig cfg) {
       core::package_experiment(cfg, driver.simulation(), runtime);
   const double converged =
       series.converged ? static_cast<double>(series.converged_epoch) : -1.0;
-  return extract(result, series.final_prevalence, converged);
+  Cell cell = extract(result, series.final_prevalence, converged);
+  // package_experiment saw only the final epoch's counters (reset wipes
+  // the sim's block every epoch); the driver accumulated the full game.
+  cell.counters = driver.telem();
+  return cell;
 }
 
 }  // namespace
@@ -345,19 +356,51 @@ bool run_plan(const ExperimentPlan& plan, std::span<MetricSink* const> sinks,
     }
   };
 
-  if (threads <= 1 || task_count <= 1) {
-    for (std::size_t t = 0; t < task_count; ++t) run_task(t);
-  } else {
-    core::TaskPool pool(std::min(threads, task_count));
-    // fairswap-lint: allow(shared-capture) -- run_task writes only
-    // cells[run_index * seeds + seed_index], and (group, seed) tasks
-    // partition those indices: every worker owns disjoint slots, and the
-    // fold below runs after parallel_for's barrier, single-threaded.
-    pool.parallel_for(task_count, run_task);
+  {
+    TELEM_SPAN("run_cells");
+    if (threads <= 1 || task_count <= 1) {
+      for (std::size_t t = 0; t < task_count; ++t) run_task(t);
+    } else {
+      core::TaskPool pool(std::min(threads, task_count));
+      // fairswap-lint: allow(shared-capture) -- run_task writes only
+      // cells[run_index * seeds + seed_index], and (group, seed) tasks
+      // partition those indices: every worker owns disjoint slots, and the
+      // fold below runs after parallel_for's barrier, single-threaded.
+      pool.parallel_for(task_count, run_task);
+      if constexpr (telemetry::kEnabled) {
+        // Wall-plane pool utilization for this phase: busy share of the
+        // job's wall time, summed over the pool's threads. Progress
+        // output only — never a sink artifact.
+        if (progress) {
+          std::uint64_t busy = 0;
+          std::uint64_t idle = 0;
+          std::uint64_t items = 0;
+          std::uint64_t chunks = 0;
+          for (const core::WorkerStats& ws : pool.worker_stats()) {
+            busy += ws.busy_ns;
+            idle += ws.idle_ns;
+            items += ws.items;
+            chunks += ws.chunks;
+          }
+          const double util =
+              busy + idle > 0
+                  ? static_cast<double>(busy) /
+                        static_cast<double>(busy + idle)
+                  : 0.0;
+          *progress << "pool: " << pool.worker_stats().size()
+                    << " threads ran " << items << " cells in " << chunks
+                    << " chunks, utilization "
+                    << static_cast<int>(util * 100.0 + 0.5) << "%\n";
+          progress->flush();
+        }
+      }
+    }
   }
 
   // Fold per run in seed order on this thread — the same RunningStats
   // add() sequence for any thread count — and stream in expansion order.
+  // Counter blocks merge the same way (integer adds, order-invariant).
+  TELEM_SPAN("fold_and_stream");
   for (const PlannedRun& run : runs) {
     RunRecord record;
     record.index = run.index;
@@ -365,7 +408,9 @@ bool run_plan(const ExperimentPlan& plan, std::span<MetricSink* const> sinks,
     record.assignment = run.assignment;
     record.seeds = seeds;
     for (std::size_t si = 0; si < seeds; ++si) {
-      fold_cell(record.metrics, cells[run.index * seeds + si]);
+      const Cell& cell = cells[run.index * seeds + si];
+      fold_cell(record.metrics, cell);
+      record.counters.merge(cell.counters);
     }
     for (MetricSink* sink : sinks) sink->record(record);
   }

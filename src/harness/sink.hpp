@@ -17,6 +17,7 @@
 #include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/telemetry/counters.hpp"
 
 namespace fairswap::harness {
 
@@ -54,6 +55,11 @@ struct MetricStats {
   RunningStats fct_mean;
   RunningStats flows_timed_out;
   RunningStats saturated_links;
+  /// WALL PLANE — the one timing metric. Telemetry-enabled builds emit
+  /// it through for_each_wall (a separate schema section excluded from
+  /// the bit-identity contract); OFF builds keep it in for_each at its
+  /// historical position so their output is byte-identical to pre-
+  /// telemetry releases.
   RunningStats runtime_s;
   // Streaming-sketch percentiles (common/stream_stats); hops_* are 0
   // unless stream_metrics= is on.
@@ -67,10 +73,10 @@ struct MetricStats {
   RunningStats final_prevalence;
   RunningStats converged_epoch;
 
-  /// Visits every metric as (name, stats), in the fixed schema order the
-  /// CSV and JSON sinks emit. Adding a metric here adds it to every sink.
-  /// New metrics are appended at the end so existing column prefixes stay
-  /// stable for downstream readers.
+  /// Visits every SIM-PLANE metric as (name, stats), in the fixed schema
+  /// order the CSV and JSON sinks emit. Adding a metric here adds it to
+  /// every sink. New metrics are appended at the end so existing column
+  /// prefixes stay stable for downstream readers.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     fn("gini_f2", gini_f2);
@@ -91,13 +97,30 @@ struct MetricStats {
     fn("fct_mean", fct_mean);
     fn("flows_timed_out", flows_timed_out);
     fn("saturated_links", saturated_links);
-    fn("runtime_s", runtime_s);
+    if constexpr (!telemetry::kEnabled) {
+      // Historical mid-list position, kept only when the wall section
+      // does not exist: FAIRSWAP_TELEMETRY=OFF output must stay
+      // byte-identical to pre-telemetry releases.
+      fn("runtime_s", runtime_s);
+    }
     fn("hops_p50", hops_p50);
     fn("hops_p99", hops_p99);
     fn("served_p99", served_p99);
     fn("income_p99", income_p99);
     fn("final_prevalence", final_prevalence);
     fn("converged_epoch", converged_epoch);
+  }
+
+  /// Visits the WALL-PLANE metrics (telemetry-enabled builds only) —
+  /// excluded from every bit-identity check; the sinks emit them in a
+  /// section of their own so consumers can tell the planes apart.
+  template <typename Fn>
+  void for_each_wall(Fn&& fn) const {
+    if constexpr (telemetry::kEnabled) {
+      fn("runtime_s", runtime_s);
+    } else {
+      static_cast<void>(fn);
+    }
   }
 };
 
@@ -109,6 +132,10 @@ struct RunRecord {
   std::vector<std::pair<std::string, std::string>> assignment;
   std::size_t seeds{1};
   MetricStats metrics;
+  /// Sim-plane counter totals summed over the run's seeds — exact
+  /// integers, bit-identical for any threads= (all zero and omitted from
+  /// sink output in FAIRSWAP_TELEMETRY=OFF builds).
+  telemetry::CounterBlock counters;
 };
 
 /// Receives a stream of run records. Implementations must not assume they

@@ -114,7 +114,13 @@ void FlowSimulator::schedule_completion(FlowId flow) {
 }
 
 void FlowSimulator::reallocate_and_reschedule() {
+  const std::size_t saturated_before = net_.ever_saturated_count();
   net_.allocate();
+  if (counters_ != nullptr) {
+    counters_->bump(telemetry::Counter::kFlowRateRecomputes);
+    counters_->bump(telemetry::Counter::kFlowSaturationEpisodes,
+                    net_.ever_saturated_count() - saturated_before);
+  }
   for (const FlowId f : net_.active_flows()) {
     const double rate = net_.rate(f);
     if (rate == meta_[f].rate) continue;  // pending event still exact
@@ -147,6 +153,9 @@ void FlowSimulator::finish_flow(FlowId flow, bool completed) {
 void FlowSimulator::on_completion_event(FlowId flow, std::uint64_t uid,
                                         std::uint64_t sched,
                                         engine::SimTime now) {
+  if (counters_ != nullptr) {
+    counters_->bump(telemetry::Counter::kFlowEventsPopped);
+  }
   if (!net_.is_active(flow) || meta_[flow].uid != uid ||
       meta_[flow].sched != sched) {
     return;  // the flow was rescheduled or already ended
@@ -171,6 +180,9 @@ void FlowSimulator::on_completion_event(FlowId flow, std::uint64_t uid,
 
 void FlowSimulator::on_timeout_event(FlowId flow, std::uint64_t uid,
                                      engine::SimTime now) {
+  if (counters_ != nullptr) {
+    counters_->bump(telemetry::Counter::kFlowEventsPopped);
+  }
   if (!net_.is_active(flow) || meta_[flow].uid != uid) return;
   progress_to(now);
   finish_flow(flow, /*completed=*/meta_[flow].remaining <= kDoneEps);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/stream_stats.hpp"
+#include "common/telemetry/counters.hpp"
 #include "engine/event_queue.hpp"
 #include "net/flow.hpp"
 #include "overlay/compiled_router.hpp"
@@ -85,6 +86,13 @@ class FlowSimulator {
 
   /// Forgets all flows, events and statistics; capacities stay.
   void reset();
+
+  /// Points the simulator at the owning simulation's sim-plane counter
+  /// block (events popped, rate recomputes, saturation episodes). Null
+  /// detaches.
+  void set_counters(telemetry::CounterBlock* counters) noexcept {
+    counters_ = counters;
+  }
 
   [[nodiscard]] FlowReport report() const;
   [[nodiscard]] engine::SimTime now() const noexcept { return queue_.now(); }
@@ -147,6 +155,8 @@ class FlowSimulator {
   std::uint64_t timed_out_{0};
   std::uint64_t next_uid_{1};
   bool dirty_{false};  ///< arrivals awaiting commit()
+  /// Sim-plane counters (not owned); null until attached.
+  telemetry::CounterBlock* counters_{nullptr};
 };
 
 }  // namespace fairswap::net

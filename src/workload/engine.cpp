@@ -86,6 +86,9 @@ DownloadRequest DemandEngine::next() {
   if (burst_window(i) && burst_rng_.chance(demand_.burst_share)) {
     req.chunks = hot_chunks_;
     req.is_upload = false;  // flash crowds are download stampedes
+    if (counters_ != nullptr) {
+      counters_->bump(telemetry::Counter::kBurstDraws);
+    }
   }
   return req;
 }
@@ -93,6 +96,9 @@ DownloadRequest DemandEngine::next() {
 double DemandEngine::interarrival_for(std::uint64_t request_index,
                                       double base_interarrival) const {
   if (!modulates_interarrival()) return base_interarrival;
+  if (counters_ != nullptr) {
+    counters_->bump(telemetry::Counter::kDiurnalDraws);
+  }
   // Triangle wave in the request index: phase 0 -> -amp (rush hour,
   // arrivals packed), phase 0.5 -> +amp (night, arrivals sparse), back
   // down to -amp. Plain rational arithmetic — unlike sin(), identical on

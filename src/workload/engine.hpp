@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/telemetry/counters.hpp"
 #include "overlay/topology.hpp"
 #include "workload/download_generator.hpp"
 
@@ -105,6 +106,12 @@ class DemandEngine {
            request_index - demand_.burst_start < demand_.burst_files;
   }
 
+  /// Points the engine at the owning simulation's sim-plane counter
+  /// block (burst redirects, diurnal modulations). Null detaches.
+  void set_counters(telemetry::CounterBlock* counters) noexcept {
+    counters_ = counters;
+  }
+
   [[nodiscard]] const DemandConfig& demand() const noexcept { return demand_; }
   [[nodiscard]] const DownloadGenerator& base() const noexcept {
     return base_;
@@ -131,6 +138,9 @@ class DemandEngine {
   Rng burst_rng_;
   std::vector<Address> hot_chunks_;
   std::uint64_t index_{0};
+  /// Sim-plane counters (not owned); null until attached. Mutable slots
+  /// behind a pointer so const queries like interarrival_for can count.
+  telemetry::CounterBlock* counters_{nullptr};
 };
 
 }  // namespace fairswap::workload

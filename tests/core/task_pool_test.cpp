@@ -85,5 +85,49 @@ TEST(TaskPool, MorePoolThreadsThanWork) {
   EXPECT_EQ(calls.load(), 3);
 }
 
+TEST(TaskPool, WorkerStatsAccountForEveryItemAcrossJobs) {
+  // The utilization-consistency contract run_plan's pool log leans on:
+  // summed per-worker item counts equal the items submitted, chunk
+  // counts are plausible for the grain, and (in telemetry builds) busy
+  // time was actually measured for whoever did work.
+  TaskPool pool(4);
+  ASSERT_EQ(pool.worker_stats().size(), 4u);
+  pool.parallel_for(97, [](std::size_t) {}, /*grain=*/8);
+  pool.parallel_for(31, [](std::size_t) {}, /*grain=*/4);
+
+  std::uint64_t items = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t busy_ns = 0;
+  for (const WorkerStats& s : pool.worker_stats()) {
+    items += s.items;
+    chunks += s.chunks;
+    busy_ns += s.busy_ns;
+  }
+  EXPECT_EQ(items, 97u + 31u);
+  // ceil(97/8) + ceil(31/4) chunks exist; work stealing may not split
+  // them further, and no worker can create extras.
+  EXPECT_GE(chunks, 2u);
+  EXPECT_LE(chunks, 13u + 8u);
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_GT(busy_ns, 0u);
+  } else {
+    EXPECT_EQ(busy_ns, 0u);  // wall timing compiled out with telemetry
+  }
+
+  pool.reset_worker_stats();
+  for (const WorkerStats& s : pool.worker_stats()) {
+    EXPECT_EQ(s, WorkerStats{});
+  }
+}
+
+TEST(TaskPool, SerialPoolStatsCountTheCallerAsTheOneWorker) {
+  TaskPool pool(1);
+  pool.parallel_for(10, [](std::size_t) {});
+  const auto& stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].items, 10u);
+  EXPECT_EQ(stats[0].chunks, 1u);  // the serial path runs one chunk
+}
+
 }  // namespace
 }  // namespace fairswap::core

@@ -1,0 +1,125 @@
+// In-process proof of the perf-drift gate: the comparison engine must
+// flag exactly the regressed metrics (direction-sensitive), key sweep
+// points by k rather than array index, and turn malformed input into a
+// hard error instead of a clean pass. The binary-level exit-code
+// contract over the same fixtures lives in tools/bench_guard/CMakeLists.
+#include "guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fairswap::guard {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path =
+      std::string(FAIRSWAP_GUARD_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(BenchGuard, BaselineAgainstItselfIsClean) {
+  const std::string base = fixture("baseline.json");
+  const GuardResult r = compare(base, base, Options{});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.drifts.empty());
+  // 2 routing k-points x 3 metrics + 2 ledger k-points x 2 metrics.
+  EXPECT_EQ(r.compared, 10u);
+}
+
+TEST(BenchGuard, InjectedRegressionFiresOnExactlyTheSlowedMetrics) {
+  const GuardResult r =
+      compare(fixture("baseline.json"), fixture("regression.json"),
+              Options{});
+  ASSERT_TRUE(r.error.empty()) << r.error;
+  // The regression fixture doubles batched_ns_per_route and
+  // edge_ns_per_debit at both k points; everything else moves < 2%.
+  ASSERT_EQ(r.drifts.size(), 4u);
+  std::size_t routing_hits = 0;
+  std::size_t ledger_hits = 0;
+  for (const Drift& d : r.drifts) {
+    EXPECT_GT(d.ratio, 1.5);
+    if (d.section == "routing") {
+      EXPECT_EQ(d.metric, "batched_ns_per_route");
+      ++routing_hits;
+    } else {
+      EXPECT_EQ(d.section, "ledger");
+      EXPECT_EQ(d.metric, "edge_ns_per_debit");
+      ++ledger_hits;
+    }
+    EXPECT_TRUE(d.k == 4 || d.k == 8);
+  }
+  EXPECT_EQ(routing_hits, 2u);
+  EXPECT_EQ(ledger_hits, 2u);
+}
+
+TEST(BenchGuard, GettingFasterNeverFails) {
+  const GuardResult r = compare(fixture("baseline.json"),
+                                fixture("improved.json"), Options{});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.drifts.empty());
+  EXPECT_EQ(r.compared, 10u);
+}
+
+TEST(BenchGuard, ToleranceIsAdjustable) {
+  Options loose;
+  loose.tolerance = 3.0;  // a 2x regression sits inside a 4x band
+  const GuardResult r = compare(fixture("baseline.json"),
+                                fixture("regression.json"), loose);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.drifts.empty());
+
+  Options strict;
+  strict.tolerance = 0.0;
+  const GuardResult s = compare(fixture("baseline.json"),
+                                fixture("regression.json"), strict);
+  // With no band, every metric that moved up at all drifts.
+  EXPECT_GE(s.drifts.size(), 4u);
+}
+
+TEST(BenchGuard, SweepPointsMatchByKNotArrayIndex) {
+  // Fresh document carries only k=8, listed first: the k=4 baseline
+  // entries are skipped, and k=8 compares against k=8 (clean), not
+  // against the k=4 index-0 baseline (which would drift).
+  const std::string fresh =
+      R"({"routing":[{"k":8,"greedy_ns_per_route":910.0,)"
+      R"("compiled_ns_per_route":340.0,"batched_ns_per_route":131.0}],)"
+      R"("ledger":[{"k":8,"map_ns_per_debit":101.0,)"
+      R"("edge_ns_per_debit":24.0}]})";
+  const GuardResult r = compare(fixture("baseline.json"), fresh, Options{});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.drifts.empty());
+  EXPECT_EQ(r.compared, 5u);
+}
+
+TEST(BenchGuard, MalformedInputIsAHardError) {
+  const GuardResult r =
+      compare(fixture("baseline.json"), "{\"routing\":[", Options{});
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_TRUE(r.drifts.empty());
+}
+
+TEST(BenchGuard, UnrelatedSchemaIsAHardError) {
+  // Parseable JSON with no routing/ledger metrics must error, not pass.
+  const GuardResult r = compare(fixture("baseline.json"),
+                                R"({"schema":"other","x":1})", Options{});
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(BenchGuard, FormatNamesTheMetricAndBand) {
+  Drift d{"routing", 8, "batched_ns_per_route", 120.0, 240.0, 2.0};
+  const std::string line = format(d, Options{});
+  EXPECT_NE(line.find("routing k=8"), std::string::npos);
+  EXPECT_NE(line.find("batched_ns_per_route"), std::string::npos);
+  EXPECT_NE(line.find("2.00x"), std::string::npos);
+  EXPECT_NE(line.find("1.50x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairswap::guard

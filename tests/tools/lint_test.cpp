@@ -80,6 +80,24 @@ TEST(LintRawRandom, CommonRngIsTheBlessedEntropySite) {
   EXPECT_TRUE(lint_tree(fixture("raw_random_allowlisted")).empty());
 }
 
+TEST(LintWallClock, FiresOnChronoInSimCode) {
+  const auto vs = lint_tree(fixture("wall_clock_violation"));
+  ASSERT_EQ(vs.size(), 3u);
+  for (const auto& v : vs) EXPECT_EQ(v.rule, "wall-clock");
+  EXPECT_EQ(vs[0].file, "src/core/timer.cpp");
+  EXPECT_EQ(vs[0].line, 3u);   // #include <chrono>
+  EXPECT_EQ(vs[1].line, 8u);   // steady_clock::now()
+  EXPECT_EQ(vs[2].line, 9u);   // duration cast
+}
+
+TEST(LintWallClock, TelemetryIsTheBlessedWallClockSite) {
+  EXPECT_TRUE(lint_tree(fixture("wall_clock_allowlisted")).empty());
+}
+
+TEST(LintWallClock, ReasonedSuppressionPasses) {
+  EXPECT_TRUE(lint_tree(fixture("wall_clock_suppressed")).empty());
+}
+
 TEST(LintFloatType, FiresOnFloatButNotProseOrIdentifiers) {
   const auto vs = lint_tree(fixture("float_violation"));
   ASSERT_EQ(vs.size(), 3u);

@@ -1,0 +1,292 @@
+#include "guard.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace fairswap::guard {
+namespace {
+
+// --- minimal JSON reader ---------------------------------------------------
+//
+// Just enough of RFC 8259 to walk a fairswap.bench_scale.v1 document:
+// objects, arrays, numbers, strings, true/false/null. Values the guard
+// does not compare (strings, bools) are parsed and discarded. Kept
+// hand-rolled so the tool stays dependency-free (see guard.hpp).
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos{0};
+  std::string error;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  void fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    std::string out;
+    if (!consume('"')) {
+      fail("expected string");
+      return out;
+    }
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            // Good enough for keys we compare (all ASCII): skip the four
+            // hex digits and substitute a placeholder.
+            pos = std::min(pos + 4, text.size());
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    if (!consume('"')) fail("unterminated string");
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) {
+      fail("expected number");
+      return 0;
+    }
+    try {
+      return std::stod(text.substr(start, pos - start));
+    } catch (...) {
+      fail("malformed number");
+      return 0;
+    }
+  }
+
+  bool consume_word(const char* word) {
+    skip_ws();
+    std::size_t j = pos;
+    for (const char* w = word; *w != '\0'; ++w, ++j) {
+      if (j >= text.size() || text[j] != *w) return false;
+    }
+    pos = j;
+    return true;
+  }
+};
+
+/// Flat numeric view of a document: "routing[8].batched_ns_per_route"
+/// -> value. Array elements are keyed by their "k" field when present,
+/// by index otherwise.
+using FlatDoc = std::map<std::string, double>;
+
+void parse_value(Parser& p, const std::string& prefix, FlatDoc& out);
+
+void parse_object(Parser& p, const std::string& prefix, FlatDoc& out) {
+  if (!p.consume('{')) {
+    p.fail("expected '{'");
+    return;
+  }
+  if (p.consume('}')) return;
+  while (p.ok()) {
+    const std::string key = p.parse_string();
+    if (!p.consume(':')) {
+      p.fail("expected ':'");
+      return;
+    }
+    parse_value(p, prefix.empty() ? key : prefix + "." + key, out);
+    if (p.consume('}')) return;
+    if (!p.consume(',')) {
+      p.fail("expected ',' or '}'");
+      return;
+    }
+  }
+}
+
+void parse_array(Parser& p, const std::string& prefix, FlatDoc& out) {
+  if (!p.consume('[')) {
+    p.fail("expected '['");
+    return;
+  }
+  if (p.consume(']')) return;
+  std::size_t index = 0;
+  while (p.ok()) {
+    // Each element lands under a provisional index key; when the element
+    // is an object with a "k" member, re-key by k so baselines survive
+    // sweep-point insertions that shift indices.
+    FlatDoc element;
+    parse_value(p, "", element);
+    std::string tag;
+    const auto k_it = element.find("k");
+    if (k_it != element.end()) {
+      tag += 'k';
+      tag += std::to_string(
+          static_cast<std::uint64_t>(std::llround(k_it->second)));
+    } else {
+      tag = std::to_string(index);
+    }
+    for (auto& [key, value] : element) {
+      std::string flat = prefix;
+      flat += '[';
+      flat += tag;
+      flat += ']';
+      if (!key.empty()) {
+        flat += '.';
+        flat += key;
+      }
+      out[std::move(flat)] = value;
+    }
+    ++index;
+    if (p.consume(']')) return;
+    if (!p.consume(',')) {
+      p.fail("expected ',' or ']'");
+      return;
+    }
+  }
+}
+
+void parse_value(Parser& p, const std::string& prefix, FlatDoc& out) {
+  const char c = p.peek();
+  if (c == '{') {
+    parse_object(p, prefix, out);
+  } else if (c == '[') {
+    parse_array(p, prefix, out);
+  } else if (c == '"') {
+    (void)p.parse_string();  // compared metrics are numeric only
+  } else if (p.consume_word("true") || p.consume_word("false") ||
+             p.consume_word("null")) {
+    // discarded
+  } else {
+    out[prefix] = p.parse_number();
+  }
+}
+
+std::optional<FlatDoc> parse_doc(const std::string& json, std::string& error,
+                                 const char* which) {
+  Parser p(json);
+  FlatDoc doc;
+  parse_value(p, "", doc);
+  p.skip_ws();
+  if (!p.ok()) {
+    error = std::string(which) + ": " + p.error;
+    return std::nullopt;
+  }
+  if (doc.empty()) {
+    error = std::string(which) + ": no numeric fields found";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+/// The guarded unit costs. Everything else in the document (speedups,
+/// memory, correctness booleans) is covered by its own tests; the guard
+/// exists for the two hot-path ns numbers the issue names.
+struct GuardedMetric {
+  const char* section;
+  const char* metric;
+};
+
+constexpr GuardedMetric kGuarded[] = {
+    {"routing", "greedy_ns_per_route"},
+    {"routing", "compiled_ns_per_route"},
+    {"routing", "batched_ns_per_route"},
+    {"ledger", "map_ns_per_debit"},
+    {"ledger", "edge_ns_per_debit"},
+};
+
+}  // namespace
+
+GuardResult compare(const std::string& baseline_json,
+                    const std::string& fresh_json, const Options& options) {
+  GuardResult result;
+  const auto baseline = parse_doc(baseline_json, result.error, "baseline");
+  if (!baseline) return result;
+  const auto fresh = parse_doc(fresh_json, result.error, "fresh");
+  if (!fresh) return result;
+
+  for (const auto& [key, base_value] : *baseline) {
+    for (const GuardedMetric& g : kGuarded) {
+      // Keys look like "routing[k8].batched_ns_per_route".
+      if (key.rfind(std::string(g.section) + "[k", 0) != 0) continue;
+      const std::string suffix = std::string(".") + g.metric;
+      if (key.size() < suffix.size() ||
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      const auto fresh_it = fresh->find(key);
+      if (fresh_it == fresh->end()) continue;  // sweep point removed: skip
+      ++result.compared;
+      if (base_value <= 0) continue;  // degenerate baseline: nothing to gate
+      const double ratio = fresh_it->second / base_value;
+      if (ratio > 1.0 + options.tolerance) {
+        const std::size_t open = key.find("[k");
+        const std::size_t close = key.find(']', open);
+        std::uint64_t k = 0;
+        if (open != std::string::npos && close != std::string::npos) {
+          k = std::stoull(key.substr(open + 2, close - open - 2));
+        }
+        result.drifts.push_back(
+            {g.section, k, g.metric, base_value, fresh_it->second, ratio});
+      }
+    }
+  }
+  if (result.compared == 0) {
+    result.error =
+        "no comparable routing/ledger metrics between baseline and fresh "
+        "documents (wrong schema?)";
+  }
+  return result;
+}
+
+std::string format(const Drift& d, const Options& options) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s k=%llu %s: %.1f -> %.1f ns (%.2fx, limit %.2fx)",
+                d.section.c_str(), static_cast<unsigned long long>(d.k),
+                d.metric.c_str(), d.baseline, d.fresh, d.ratio,
+                1.0 + options.tolerance);
+  return buf;
+}
+
+}  // namespace fairswap::guard

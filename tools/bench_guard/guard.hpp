@@ -1,0 +1,62 @@
+// bench_guard — the CI perf-drift gate over BENCH_scale.json.
+//
+// Compares a freshly produced fairswap.bench_scale.v1 document against
+// the committed reference (bench/baseline.json) on the hot-path unit
+// costs: routing ns/route (greedy, compiled, batched) and ledger
+// ns/debit (map, edge), matched per k. A metric drifts when the fresh
+// value exceeds baseline * (1 + tolerance) — regression direction only;
+// getting faster never fails the gate.
+//
+// Like fairswap_lint, this is a standalone library + CLI with no
+// fairswap-lib link (it parses JSON itself), so the gate builds in
+// seconds and cannot be skewed by the code it is guarding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fairswap::guard {
+
+struct Options {
+  /// Allowed relative slowdown before a metric counts as drift: 0.5
+  /// means "fresh may be up to 1.5x the baseline". The band is wide on
+  /// purpose: even with bench_scale's best-of-N timing loops, shared CI
+  /// runners jitter these millisecond-scale measurements by up to ~1.3x
+  /// run-to-run, and the gate exists to catch structural regressions
+  /// (an accidental O(n) probe, a dropped batch path — the committed
+  /// regression fixture is 2x), not scheduler noise. Tighten with
+  /// --tolerance= on a quiet, dedicated machine.
+  double tolerance{0.5};
+};
+
+/// One metric that regressed past the tolerance band.
+struct Drift {
+  std::string section;  ///< "routing" or "ledger"
+  std::uint64_t k{0};   ///< the sweep point the metric belongs to
+  std::string metric;   ///< e.g. "batched_ns_per_route"
+  double baseline{0};
+  double fresh{0};
+  double ratio{0};  ///< fresh / baseline
+};
+
+struct GuardResult {
+  /// Non-empty means one of the inputs failed to parse or had no
+  /// comparable metrics; drifts/compared are then meaningless.
+  std::string error;
+  std::vector<Drift> drifts;
+  /// Number of (section, k, metric) points compared. A baseline k
+  /// missing from the fresh document is skipped, not an error, so the
+  /// gate survives deliberate sweep-point changes (the CI log still
+  /// shows the count shrinking).
+  std::size_t compared{0};
+};
+
+/// Compares two fairswap.bench_scale.v1 documents (full JSON text).
+GuardResult compare(const std::string& baseline_json,
+                    const std::string& fresh_json, const Options& options);
+
+/// "routing k=8 batched_ns_per_route: 123.0 -> 310.1 (2.52x, limit 1.50x)"
+std::string format(const Drift& d, const Options& options);
+
+}  // namespace fairswap::guard

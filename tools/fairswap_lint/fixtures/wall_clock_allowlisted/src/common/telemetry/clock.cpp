@@ -1,0 +1,14 @@
+// Fixture: src/common/telemetry* is the blessed wall-clock site — the
+// same tokens that fire elsewhere must pass here.
+#include <chrono>
+
+namespace fixture {
+
+unsigned long long nanos_now() {
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: std::chrono anywhere in sim code must fire `wall-clock` —
+// wall time belongs to the telemetry wall plane only.
+#include <chrono>
+
+namespace fixture {
+
+double seconds_now() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace fixture

@@ -340,14 +340,45 @@ void check_raw_random(const SourceFile& file, const Suppressions& sup,
           is_hit = j < code.size() && code[j] == '(';
         }
         if (is_hit && !sup.allows(i, "raw-random")) {
+          // Sequential appends: GCC 12's -Wrestrict misfires on the
+          // `const char* + std::string&&` chain this replaces.
+          std::string message;
+          message += '\'';
+          message += token;
+          message +=
+              "' breaks replayable determinism; all randomness must "
+              "flow from common/rng.hpp seeding";
           out.push_back(
-              {file.path, i + 1, "raw-random",
-               "'" + std::string(token) +
-                   "' breaks replayable determinism; all randomness must "
-                   "flow from common/rng.hpp seeding"});
+              {file.path, i + 1, "raw-random", std::move(message)});
         }
         pos = find_token(code, token, pos + 1);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+// ---------------------------------------------------------------------------
+
+void check_wall_clock(const SourceFile& file, const Suppressions& sup,
+                      std::vector<Violation>& out) {
+  // Blessed wall-clock sites: the telemetry wall plane (wall_now_ns /
+  // TELEM_SPAN live there), logging timestamps, and bench/ drivers whose
+  // whole job is timing.
+  static constexpr std::array<std::string_view, 3> kAllowedPrefixes = {
+      "src/common/telemetry", "src/common/log", "bench/"};
+  for (const std::string_view prefix : kAllowedPrefixes) {
+    if (file.path.rfind(prefix, 0) == 0) return;
+  }
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (find_token(file.code[i], "chrono") != std::string::npos &&
+        !sup.allows(i, "wall-clock")) {
+      out.push_back(
+          {file.path, i + 1, "wall-clock",
+           "std::chrono leaks wall time into the sim plane; take timings "
+           "through telemetry::wall_now_ns / TELEM_SPAN "
+           "(src/common/telemetry) so the planes stay separated"});
     }
   }
 }
@@ -512,12 +543,17 @@ void check_naked_mutex(const SourceFile& file, const Suppressions& sup,
     for (const std::string_view token : kTokens) {
       if (find_token(file.code[i], token) == std::string::npos) continue;
       if (!sup.allows(i, "naked-mutex")) {
+        // Sequential appends: GCC 12's -Wrestrict misfires on the
+        // `const char* + std::string&&` chain this replaces.
+        std::string message;
+        message += '\'';
+        message += token;
+        message +=
+            "' bypasses -Wthread-safety; use the capability-annotated "
+            "Mutex / MutexLock / CondVar wrappers from "
+            "common/thread_annotations.hpp";
         out.push_back(
-            {file.path, i + 1, "naked-mutex",
-             "'" + std::string(token) +
-                 "' bypasses -Wthread-safety; use the capability-annotated "
-                 "Mutex / MutexLock / CondVar wrappers from "
-                 "common/thread_annotations.hpp"});
+            {file.path, i + 1, "naked-mutex", std::move(message)});
       }
       break;  // one violation per line is enough
     }
@@ -838,6 +874,9 @@ std::vector<Violation> lint_files(const std::vector<SourceFile>& files,
     }
     if (rule_enabled(options, "raw-random")) {
       check_raw_random(file, sup, out);
+    }
+    if (rule_enabled(options, "wall-clock")) {
+      check_wall_clock(file, sup, out);
     }
     if (rule_enabled(options, "float-type")) {
       check_float_type(file, sup, out);

@@ -16,6 +16,11 @@
 //   raw-random            rand/srand/std::random_device/time() seeding —
 //                         all randomness flows from common/rng.hpp
 //                         (SplitMix64) so runs replay bit-identically.
+//   wall-clock            std::chrono outside src/common/telemetry*,
+//                         src/common/log* and bench/. Wall time is the
+//                         telemetry wall plane's business; sim code that
+//                         reads a clock can leak nondeterminism into
+//                         results (use telemetry::wall_now_ns/TELEM_SPAN).
 //   float-type            `float` anywhere: metrics/fold paths accumulate
 //                         in double or integers with canonical order;
 //                         float's 24-bit mantissa makes fold order visible.
